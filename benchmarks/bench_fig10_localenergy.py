@@ -1,0 +1,99 @@
+"""Fig. 10: speedups of the local-energy optimization ladder.
+
+Levels (Sec. 3.4): bare-CPU baseline -> SA+FUSE -> SA+FUSE+LUT ->
+SA+FUSE+LUT+vectorized-batch-kernel (the paper's GPU level; substitution
+documented in DESIGN.md).  Measured on C2/STO-3G by default (LiCl and C2H4O
+in full mode, as in the paper), with unique samples drawn from a warmed-up
+QiankunNet.
+
+Shape to reproduce: monotone speedup ordering with the vectorized kernel
+orders of magnitude above the scalar levels.
+"""
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import format_table, registry
+from repro.chem import build_problem
+from repro.core import (
+    VMCConfig,
+    build_amplitude_table,
+    build_qiankunnet,
+    batch_autoregressive_sample,
+    local_energy_baseline,
+    local_energy_sa_fuse,
+    local_energy_sa_fuse_lut,
+    local_energy_vectorized,
+    pretrain_to_reference,
+)
+from repro.core.sampler import SampleBatch
+from repro.hamiltonian import build_reference, compress_hamiltonian
+
+
+def _prepare(name: str, n_samples: int = 10**6, seed: int = 7):
+    prob = build_problem(name, "sto-3g")
+    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=seed)
+    pretrain_to_reference(wf, prob.hf_bits, n_steps=60, target_prob=0.2)
+    rng = np.random.default_rng(seed)
+    batch = batch_autoregressive_sample(wf, n_samples, rng)
+    comp = compress_hamiltonian(prob.hamiltonian)
+    ref = build_reference(prob.hamiltonian)
+    table = build_amplitude_table(wf, batch)
+    return prob, comp, ref, batch, table
+
+
+def _time_per_sample(fn, batch, n_max: int, *args) -> float:
+    """Run ``fn`` on at most n_max samples; return seconds per sample."""
+    sub = SampleBatch(bits=batch.bits[:n_max], weights=batch.weights[:n_max])
+    t0 = time.perf_counter()
+    fn(sub, *args)
+    return (time.perf_counter() - t0) / sub.n_unique
+
+
+def test_fig10_local_energy_speedups(benchmark, full):
+    molecules = ["C2"] + (["LiCl", "C2H4O"] if full else [])
+    rows = []
+    for name in molecules:
+        prob, comp, ref, batch, table = _prepare(name)
+        amp_dict = table.to_dict()
+        from repro.core.local_energy import prepare_scalar_views
+
+        views = prepare_scalar_views(comp, table)
+        nb = min(batch.n_unique, 16)    # baseline is very slow — subsample
+        ns = min(batch.n_unique, 64)    # scalar SA levels
+        t_base = _time_per_sample(
+            lambda b: local_energy_baseline(ref, b, amp_dict), batch, nb
+        )
+        t_sa = _time_per_sample(
+            lambda b: local_energy_sa_fuse(comp, b, amp_dict), batch, ns
+        )
+        t_lut = _time_per_sample(
+            lambda b: local_energy_sa_fuse_lut(comp, b, table, views=views), batch, ns
+        )
+        t_vec = _time_per_sample(
+            lambda b: local_energy_vectorized(comp, b, table), batch, batch.n_unique
+        )
+        rows.append(
+            [name, prob.n_qubits, prob.hamiltonian.n_terms, batch.n_unique,
+             f"{t_base / t_sa:.1f}x", f"{t_base / t_lut:.1f}x",
+             f"{t_base / t_vec:.0f}x"]
+        )
+    registry.record(
+        "fig10_local_energy_speedups",
+        format_table(
+            "Fig. 10 — Local-energy speedups over the bare-CPU baseline",
+            ["Molecule", "N", "N_h", "N_u", "SA+FUSE", "SA+FUSE+LUT",
+             "SA+FUSE+LUT+VEC"],
+            rows,
+            notes=(
+                "VEC = batch-vectorized numpy kernel (the paper's GPU level; "
+                "paper reports 24x / 103x / 3768x for C2). Shape: monotone "
+                "ladder, VEC >> scalar levels."
+            ),
+        ),
+    )
+
+    prob, comp, ref, batch, table = _prepare("C2")
+    benchmark(local_energy_vectorized, comp, batch, table)

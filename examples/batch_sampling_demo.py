@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Batch autoregressive sampling (Fig. 3): N_s-independent cost, exact counts.
+
+Demonstrates the paper's headline sampling property: pushing a budget of
+10^3 ... 10^12 samples through the BAS tree costs nearly the same wall time,
+because only the *unique* prefixes per layer are ever evaluated, while plain
+autoregressive sampling scales linearly in N_s.  Also verifies that the BAS
+occurrence counts converge to the ansatz distribution pi(x).
+
+Usage:  python examples/batch_sampling_demo.py [--molecule H2O]
+"""
+import argparse
+import time
+
+import numpy as np
+
+from repro import batch_autoregressive_sample, build_problem, build_qiankunnet
+from repro.core import autoregressive_sample, pretrain_to_reference
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--molecule", default="H2O")
+    args = ap.parse_args()
+
+    prob = build_problem(args.molecule, "sto-3g")
+    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=3)
+    pretrain_to_reference(wf, prob.hf_bits, n_steps=80, target_prob=0.3)
+
+    print(f"{args.molecule}: {prob.n_qubits} qubits "
+          f"({prob.n_up} up + {prob.n_dn} down electrons)")
+    print()
+    print("Batch autoregressive sampling (Fig. 3b): cost vs sample budget N_s")
+    print("N_s        unique  time (s)")
+    print("-" * 32)
+    rng = np.random.default_rng(0)
+    for ns in (10**3, 10**6, 10**9, 10**12):
+        t0 = time.perf_counter()
+        batch = batch_autoregressive_sample(wf, ns, rng)
+        dt = time.perf_counter() - t0
+        print(f"{ns:<9.0e}  {batch.n_unique:6d}  {dt:8.3f}")
+
+    print()
+    print("Plain autoregressive sampling (Fig. 3a) for comparison:")
+    for ns in (10**3, 10**4):
+        t0 = time.perf_counter()
+        autoregressive_sample(wf, ns, rng)
+        dt = time.perf_counter() - t0
+        print(f"{ns:<9.0e}  {'-':>6}  {dt:8.3f}")
+
+    batch = batch_autoregressive_sample(wf, 10**6, rng)
+    logp = wf.log_prob(batch.bits).data
+    err = np.abs(batch.frequencies() - np.exp(logp)).max()
+    print()
+    print(f"max |empirical frequency - pi(x)| over {batch.n_unique} unique "
+          f"samples at N_s=1e6: {err:.2e}")
+    print("every sample satisfies the particle-number constraint:",
+          bool(np.all(wf.constraint.validate_bits(batch.bits))))
+
+
+if __name__ == "__main__":
+    main()

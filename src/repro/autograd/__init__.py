@@ -1,0 +1,20 @@
+"""Reverse-mode autodiff over numpy (the PyTorch substitute)."""
+from repro.autograd.tensor import (
+    Tensor,
+    concat,
+    embedding_lookup,
+    is_grad_enabled,
+    no_grad,
+    stack,
+)
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "embedding_lookup",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+    "gradcheck",
+]

@@ -1,0 +1,396 @@
+"""A reverse-mode automatic differentiation engine over numpy arrays.
+
+This is the substrate that replaces PyTorch in the reproduction: a ``Tensor``
+wraps a float64 ``numpy.ndarray`` and records the operations applied to it so
+that ``backward()`` can accumulate gradients through the graph.  Only the
+operator set needed by the paper's models (transformer decoders, MLPs, MADE)
+is implemented, but each operator supports full numpy broadcasting so the
+modules read like their PyTorch counterparts.
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` (dense ndarray, same shape as
+  ``data``); graphs are rebuilt each forward pass (define-by-run).
+* ``no_grad()`` disables taping, used by the sampler's pure-inference passes —
+  this mirrors the paper's split between sampling (inference) and the backward
+  pass (Fig. 4).
+* All math is float64: VMC gradients are small differences of local energies,
+  and float32 noise visibly degrades convergence at chemical accuracy.
+"""
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with a gradient tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100.0  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ info
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ----------------------------------------------------------- graph build
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"], backward) -> "Tensor":
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (must be scalar unless grad given)."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order via iterative DFS (graphs can be deep: one
+        # attention layer per sampled token position).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                node._accumulate(g)
+                continue
+            parent_grads = node._backward(g)
+            for p, pg in zip(node._parents, parent_grads):
+                if pg is None or not p.requires_grad:
+                    continue
+                pg = _unbroadcast(np.asarray(pg, dtype=np.float64), p.data.shape)
+                if p._backward is None and not p._parents:
+                    p._accumulate(pg)  # leaf
+                else:
+                    if id(p) in grads:
+                        grads[id(p)] = grads[id(p)] + pg
+                    else:
+                        grads[id(p)] = pg
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------ arithmetic
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+        return Tensor._make(out_data, (self, other), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other):
+        other = Tensor._coerce(other)
+        return Tensor._make(self.data - other.data, (self, other), lambda g: (g, -g))
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other) - self
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self.data, other.data
+        return Tensor._make(a * b, (self, other), lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self.data, other.data
+        return Tensor._make(
+            a / b, (self, other), lambda g: (g / b, -g * a / (b * b))
+        )
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent: float):
+        a = self.data
+        e = float(exponent)
+        return Tensor._make(a**e, (self,), lambda g: (g * e * a ** (e - 1.0),))
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self.data, other.data
+        out = a @ b
+
+        def backward(g):
+            if a.ndim == 1 and b.ndim == 1:
+                return (g * b, g * a)
+            ga = g @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(g, b)
+            gb = np.swapaxes(a, -1, -2) @ g if a.ndim > 1 else np.outer(a, g)
+            # batched matmul may broadcast batch dims
+            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+        return Tensor._make(out, (self, other), backward)
+
+    # ------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False):
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is None:
+                return (np.broadcast_to(g, self.data.shape).copy(),)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, self.data.shape).copy(),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        n = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    # ---------------------------------------------------------- elementwise
+    def exp(self):
+        out = np.exp(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * out,))
+
+    def log(self):
+        a = self.data
+        return Tensor._make(np.log(a), (self,), lambda g: (g / a,))
+
+    def sqrt(self):
+        out = np.sqrt(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * 0.5 / out,))
+
+    def tanh(self):
+        out = np.tanh(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * (1.0 - out * out),))
+
+    def relu(self):
+        a = self.data
+        mask = a > 0
+        return Tensor._make(a * mask, (self,), lambda g: (g * mask,))
+
+    def sigmoid(self):
+        out = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(out, (self,), lambda g: (g * out * (1.0 - out),))
+
+    def gelu(self):
+        """tanh-approximation GELU (the variant used by GPT-style decoders)."""
+        a = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (a + 0.044715 * a**3)
+        t = np.tanh(inner)
+        out = 0.5 * a * (1.0 + t)
+
+        def backward(g):
+            dinner = c * (1.0 + 3 * 0.044715 * a**2)
+            dt = (1.0 - t * t) * dinner
+            return (g * (0.5 * (1.0 + t) + 0.5 * a * dt),)
+
+        return Tensor._make(out, (self,), backward)
+
+    # --------------------------------------------------------------- reshape
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old = self.data.shape
+        return Tensor._make(
+            self.data.reshape(shape), (self,), lambda g: (g.reshape(old),)
+        )
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inv = np.argsort(axes)
+        return Tensor._make(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inv),)
+        )
+
+    def swapaxes(self, a: int, b: int):
+        return Tensor._make(
+            np.swapaxes(self.data, a, b), (self,), lambda g: (np.swapaxes(g, a, b),)
+        )
+
+    def __getitem__(self, idx):
+        out = self.data[idx]
+
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(out, (self,), backward)
+
+    # ------------------------------------------------------- fused helpers
+    def masked_fill(self, mask: np.ndarray, value: float):
+        """Return a tensor equal to self with ``value`` where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        out = np.where(mask, value, self.data)
+        return Tensor._make(out, (self,), lambda g: (np.where(mask, 0.0, g),))
+
+    def log_softmax(self, axis: int = -1):
+        a = self.data
+        m = a.max(axis=axis, keepdims=True)
+        shifted = a - m
+        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - lse
+
+        def backward(g):
+            softmax = np.exp(out)
+            return (g - softmax * g.sum(axis=axis, keepdims=True),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def softmax(self, axis: int = -1):
+        a = self.data
+        m = a.max(axis=axis, keepdims=True)
+        e = np.exp(a - m)
+        out = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            dot = (g * out).sum(axis=axis, keepdims=True)
+            return (out * (g - dot),)
+
+        return Tensor._make(out, (self,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    datas = [t.data for t in tensors]
+    out = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for i in range(len(datas)):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(sl)])
+        return tuple(grads)
+
+    return Tensor._make(out, tensors, backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(out, tensors, backward)
+
+
+def embedding_lookup(table: Tensor, idx: np.ndarray) -> Tensor:
+    """Row gather ``table[idx]`` with scatter-add backward (nn.Embedding)."""
+    idx = np.asarray(idx)
+    out = table.data[idx]
+
+    def backward(g):
+        full = np.zeros_like(table.data)
+        np.add.at(full, idx.reshape(-1), g.reshape(-1, table.data.shape[-1]))
+        return (full,)
+
+    return Tensor._make(out, (table,), backward)

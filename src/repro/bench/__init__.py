@@ -1,0 +1,4 @@
+"""Benchmark support: paper-style table rendering + result registry."""
+from repro.bench.reporting import ExperimentRegistry, format_table, registry
+
+__all__ = ["ExperimentRegistry", "format_table", "registry"]

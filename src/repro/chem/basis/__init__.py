@@ -1,0 +1,12 @@
+"""Basis sets: data tables, contracted shells, spherical transforms."""
+from repro.chem.basis.data import available_basis_sets, element_shells
+from repro.chem.basis.shells import BasisSet, Shell, build_basis, cartesian_components
+
+__all__ = [
+    "available_basis_sets",
+    "element_shells",
+    "BasisSet",
+    "Shell",
+    "build_basis",
+    "cartesian_components",
+]

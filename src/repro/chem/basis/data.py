@@ -1,0 +1,153 @@
+"""Gaussian basis-set tables.
+
+STO-3G is generated with the standard Hehre–Stewart–Pople construction:
+universal 3-Gaussian least-squares fits to Slater 1s/2sp/3sp functions, scaled
+by per-element Slater exponents zeta (exponents scale as zeta^2).  The 1s and
+2sp unit fits and the zeta table reproduce the published STO-3G exponents to
+all printed digits (e.g. H 1s: 1.24^2 * 2.227660584 = 3.42525091).  Third-row
+3sp parameters are tabulated directly.
+
+6-31G (H, C, N, O — enough for benzene and common test molecules) and
+cc-pVTZ / aug-cc-pVTZ for hydrogen (the Fig. 13 basis sets) are tabulated
+explicitly from the standard distributions.
+
+Each entry is a list of shells ``(l, [exponents], [contraction coefficients])``
+with coefficients referring to *normalized primitives* (the EMSL convention).
+"""
+from __future__ import annotations
+
+__all__ = ["element_shells", "available_basis_sets"]
+
+# ----------------------------------------------------------------- STO-3G
+# Universal STO-3G fits (Hehre, Stewart, Pople, JCP 51, 2657 (1969)).
+_STO3G_1S_EXP = (2.227660584, 0.405771156, 0.109818036)
+_STO3G_1S_COEF = (0.154328967, 0.535328142, 0.444634542)
+
+_STO3G_2SP_EXP = (0.994203122, 0.231031409, 0.0751386017)
+_STO3G_2S_COEF = (-0.0999672292, 0.399512826, 0.700115469)
+_STO3G_2P_COEF = (0.155916275, 0.607683719, 0.391957393)
+
+_STO3G_3S_COEF = (-0.2196203690, 0.2255954336, 0.9003984260)
+_STO3G_3P_COEF = (0.0105876180, 0.5951670053, 0.4620010120)
+
+# Slater exponents (zeta) used by standard STO-3G.
+_ZETA_1S = {
+    "H": 1.24, "He": 1.69,
+    "Li": 2.69, "Be": 3.68, "B": 4.68, "C": 5.67, "N": 6.67, "O": 7.66,
+    "F": 8.65, "Ne": 9.64,
+    "Na": 10.61, "Mg": 11.59, "Al": 12.56, "Si": 13.53, "P": 14.50,
+    "S": 15.47, "Cl": 16.43, "Ar": 17.40,
+}
+_ZETA_2SP = {
+    "Li": 0.80, "Be": 1.15, "B": 1.50, "C": 1.72, "N": 1.95, "O": 2.25,
+    "F": 2.55, "Ne": 2.88,
+    "Na": 3.48, "Mg": 3.90, "Al": 4.36, "Si": 4.83, "P": 5.31, "S": 5.79,
+    "Cl": 6.26, "Ar": 6.74,
+}
+# Third-row 3sp STO-3G: unit fit derived from the published P/S/Cl exponents
+# (mutually consistent to 5 significant figures) with zeta3sp below.
+_STO3G_3SP_EXP_UNIT = (0.4828540806, 0.1347150629, 0.0527268347)
+_ZETA_3SP = {
+    "Na": 1.75, "Mg": 1.70, "Al": 1.70, "Si": 1.75, "P": 1.90, "S": 2.05,
+    "Cl": 2.10, "Ar": 2.33,
+}
+
+
+def _scale(exps, zeta):
+    return [e * zeta * zeta for e in exps]
+
+
+def _sto3g(symbol: str):
+    shells = [(0, _scale(_STO3G_1S_EXP, _ZETA_1S[symbol]), list(_STO3G_1S_COEF))]
+    if symbol in _ZETA_2SP:
+        e2 = _scale(_STO3G_2SP_EXP, _ZETA_2SP[symbol])
+        shells.append((0, e2, list(_STO3G_2S_COEF)))
+        shells.append((1, e2, list(_STO3G_2P_COEF)))
+    if symbol in _ZETA_3SP:
+        e3 = _scale(_STO3G_3SP_EXP_UNIT, _ZETA_3SP[symbol])
+        shells.append((0, e3, list(_STO3G_3S_COEF)))
+        shells.append((1, e3, list(_STO3G_3P_COEF)))
+    return shells
+
+
+# ------------------------------------------------------------------ 6-31G
+_631G = {
+    "H": [
+        (0, [18.7311370, 2.8253937, 0.6401217],
+            [0.03349460, 0.23472695, 0.81375733]),
+        (0, [0.1612778], [1.0]),
+    ],
+    "C": [
+        (0, [3047.5249, 457.36951, 103.94869, 29.210155, 9.2866630, 3.1639270],
+            [0.0018347, 0.0140373, 0.0688426, 0.2321844, 0.4679413, 0.3623120]),
+        (0, [7.8682724, 1.8812885, 0.5442493],
+            [-0.1193324, -0.1608542, 1.1434564]),
+        (1, [7.8682724, 1.8812885, 0.5442493],
+            [0.0689991, 0.3164240, 0.7443083]),
+        (0, [0.1687144], [1.0]),
+        (1, [0.1687144], [1.0]),
+    ],
+    "N": [
+        (0, [4173.5110, 627.45790, 142.90210, 40.234330, 12.820210, 4.3904370],
+            [0.0018348, 0.0139950, 0.0685870, 0.2322410, 0.4690700, 0.3604550]),
+        (0, [11.626358, 2.7162800, 0.7722180],
+            [-0.1149610, -0.1691180, 1.1458520]),
+        (1, [11.626358, 2.7162800, 0.7722180],
+            [0.0675800, 0.3239070, 0.7408950]),
+        (0, [0.2120313], [1.0]),
+        (1, [0.2120313], [1.0]),
+    ],
+    "O": [
+        (0, [5484.6717, 825.23495, 188.04696, 52.964500, 16.897570, 5.7996353],
+            [0.0018311, 0.0139501, 0.0684451, 0.2327143, 0.4701930, 0.3585209]),
+        (0, [15.539616, 3.5999336, 1.0137618],
+            [-0.1107775, -0.1480263, 1.1307670]),
+        (1, [15.539616, 3.5999336, 1.0137618],
+            [0.0708743, 0.3397528, 0.7271586]),
+        (0, [0.2700058], [1.0]),
+        (1, [0.2700058], [1.0]),
+    ],
+}
+
+# --------------------------------------------------- cc-pVTZ (hydrogen only)
+_CCPVTZ_H = [
+    (0, [33.8700, 5.0950, 1.1590, 0.3258, 0.1027],
+        [0.0060680, 0.0453080, 0.2028220, 0.5039030, 0.3834210]),
+    (0, [0.3258], [1.0]),
+    (0, [0.1027], [1.0]),
+    (1, [1.4070], [1.0]),
+    (1, [0.3880], [1.0]),
+    (2, [1.0570], [1.0]),
+]
+_AUG_CCPVTZ_H = _CCPVTZ_H + [
+    (0, [0.0252600], [1.0]),
+    (1, [0.1020000], [1.0]),
+    (2, [0.2470000], [1.0]),
+]
+
+
+def available_basis_sets() -> list[str]:
+    return ["sto-3g", "6-31g", "cc-pvtz", "aug-cc-pvtz"]
+
+
+def element_shells(symbol: str, basis: str):
+    """Return the shell list ``[(l, exps, coefs), ...]`` for an element."""
+    basis = basis.lower()
+    symbol = symbol.capitalize() if len(symbol) > 1 else symbol.upper()
+    if basis == "sto-3g":
+        if symbol not in _ZETA_1S:
+            raise ValueError(f"STO-3G not tabulated for {symbol}")
+        return _sto3g(symbol)
+    if basis == "6-31g":
+        if symbol not in _631G:
+            raise ValueError(f"6-31G tabulated only for {sorted(_631G)}, got {symbol}")
+        return _631G[symbol]
+    if basis == "cc-pvtz":
+        if symbol != "H":
+            raise ValueError("cc-pVTZ tabulated for H only (the Fig. 13 workload)")
+        return _CCPVTZ_H
+    if basis == "aug-cc-pvtz":
+        if symbol != "H":
+            raise ValueError("aug-cc-pVTZ tabulated for H only (the Fig. 13 workload)")
+        return _AUG_CCPVTZ_H
+    raise ValueError(f"unknown basis {basis!r}; available: {available_basis_sets()}")

@@ -1,0 +1,146 @@
+"""Spin-orbital CCSD — the "gold standard" baseline column of Table 1.
+
+Implements the standard spin-orbital coupled-cluster singles and doubles
+equations (Stanton, Gauss, Watts, Bartlett, JCP 94, 4334 (1991) intermediates)
+with DIIS-free damping; molecule sizes in this reproduction are tiny, so plain
+einsum over the full antisymmetrized integral tensor is ample.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.mo_integrals import SpinOrbitalIntegrals
+
+__all__ = ["CCSDResult", "run_ccsd"]
+
+
+@dataclass
+class CCSDResult:
+    energy: float            # total energy (e_nuc + E_HF_elec + E_corr)
+    e_corr: float
+    e_scf: float
+    converged: bool
+    n_iter: int
+
+
+def run_ccsd(so: SpinOrbitalIntegrals, max_iter: int = 100,
+             conv_tol: float = 1e-9) -> CCSDResult:
+    n = so.n_so
+    n_occ = so.n_electrons
+    o = slice(0, n_occ)
+    v = slice(n_occ, n)
+
+    # Spin-orbital Fock matrix and HF energy from h1 + <PQ||RS>.
+    w = so.antisymmetrized  # <pq||rs>
+    f = so.h1 + np.einsum("piqi->pq", w[:, o, :, o])
+    e_scf = (
+        np.einsum("ii->", so.h1[o, o])
+        + 0.5 * np.einsum("ijij->", w[o, o, o, o])
+        + so.e_nuc
+    )
+
+    eps = f.diagonal()
+    d1 = eps[o, None] - eps[None, v]                        # D_ia
+    d2 = (
+        eps[o, None, None, None] + eps[None, o, None, None]
+        - eps[None, None, v, None] - eps[None, None, None, v]
+    )                                                       # D_ijab
+
+    t1 = np.zeros((n_occ, n - n_occ))
+    t2 = w[o, o, v, v] / d2                                 # MP2 guess
+
+    def tau_tilde(t1, t2):
+        x = np.einsum("ia,jb->ijab", t1, t1)
+        return t2 + 0.5 * (x - x.transpose(0, 1, 3, 2))
+
+    def tau(t1, t2):
+        x = np.einsum("ia,jb->ijab", t1, t1)
+        return t2 + x - x.transpose(0, 1, 3, 2)
+
+    def energy(t1, t2):
+        e = np.einsum("ia,ia->", f[o, v], t1)
+        e += 0.25 * np.einsum("ijab,ijab->", w[o, o, v, v], t2)
+        e += 0.5 * np.einsum("ijab,ia,jb->", w[o, o, v, v], t1, t1)
+        return e
+
+    e_old = energy(t1, t2)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        tt = tau_tilde(t1, t2)
+        tf = tau(t1, t2)
+
+        Fae = f[v, v] - np.diag(eps[v])
+        Fae -= 0.5 * np.einsum("me,ma->ae", f[o, v], t1)
+        Fae += np.einsum("mf,mafe->ae", t1, w[o, v, v, v])
+        Fae -= 0.5 * np.einsum("mnaf,mnef->ae", tt, w[o, o, v, v])
+
+        Fmi = f[o, o] - np.diag(eps[o])
+        Fmi += 0.5 * np.einsum("ie,me->mi", t1, f[o, v])
+        Fmi += np.einsum("ne,mnie->mi", t1, w[o, o, o, v])
+        Fmi += 0.5 * np.einsum("inef,mnef->mi", tt, w[o, o, v, v])
+
+        Fme = f[o, v] + np.einsum("nf,mnef->me", t1, w[o, o, v, v])
+
+        Wmnij = w[o, o, o, o].copy()
+        x = np.einsum("je,mnie->mnij", t1, w[o, o, o, v])
+        Wmnij += x - x.transpose(0, 1, 3, 2)
+        Wmnij += 0.25 * np.einsum("ijef,mnef->mnij", tf, w[o, o, v, v])
+
+        Wabef = w[v, v, v, v].copy()
+        x = np.einsum("mb,amef->abef", t1, w[v, o, v, v])
+        Wabef -= x - x.transpose(1, 0, 2, 3)
+        Wabef += 0.25 * np.einsum("mnab,mnef->abef", tf, w[o, o, v, v])
+
+        Wmbej = w[o, v, v, o].copy()
+        Wmbej += np.einsum("jf,mbef->mbej", t1, w[o, v, v, v])
+        Wmbej -= np.einsum("nb,mnej->mbej", t1, w[o, o, v, o])
+        Wmbej -= np.einsum("jnfb,mnef->mbej", 0.5 * t2 + np.einsum("jf,nb->jnfb", t1, t1), w[o, o, v, v])
+
+        # T1 equations.
+        rhs1 = f[o, v].copy()
+        rhs1 += np.einsum("ie,ae->ia", t1, Fae)
+        rhs1 -= np.einsum("ma,mi->ia", t1, Fmi)
+        rhs1 += np.einsum("imae,me->ia", t2, Fme)
+        rhs1 -= np.einsum("nf,naif->ia", t1, w[o, v, o, v])
+        rhs1 -= 0.5 * np.einsum("imef,maef->ia", t2, w[o, v, v, v])
+        rhs1 -= 0.5 * np.einsum("mnae,nmei->ia", t2, w[o, o, v, o])
+        t1_new = rhs1 / d1
+
+        # T2 equations.
+        rhs2 = w[o, o, v, v].copy()
+        tmp = Fae - 0.5 * np.einsum("mb,me->be", t1, Fme)
+        x = np.einsum("ijae,be->ijab", t2, tmp)
+        rhs2 += x - x.transpose(0, 1, 3, 2)
+        tmp = Fmi + 0.5 * np.einsum("je,me->mj", t1, Fme)
+        x = np.einsum("imab,mj->ijab", t2, tmp)
+        rhs2 -= x - x.transpose(1, 0, 2, 3)
+        rhs2 += 0.5 * np.einsum("mnab,mnij->ijab", tf, Wmnij)
+        rhs2 += 0.5 * np.einsum("ijef,abef->ijab", tf, Wabef)
+        x = np.einsum("imae,mbej->ijab", t2, Wmbej)
+        x -= np.einsum("ie,ma,mbej->ijab", t1, t1, w[o, v, v, o])
+        x = x - x.transpose(0, 1, 3, 2)
+        rhs2 += x - x.transpose(1, 0, 2, 3)
+        x = np.einsum("ie,abej->ijab", t1, w[v, v, v, o])
+        rhs2 += x - x.transpose(1, 0, 2, 3)
+        x = np.einsum("ma,mbij->ijab", t1, w[o, v, o, o])
+        rhs2 -= x - x.transpose(0, 1, 3, 2)
+        t2_new = rhs2 / d2
+
+        t1, t2 = t1_new, t2_new
+        e_new = energy(t1, t2)
+        if abs(e_new - e_old) < conv_tol:
+            converged = True
+            e_old = e_new
+            break
+        e_old = e_new
+
+    return CCSDResult(
+        energy=float(e_scf + e_old),
+        e_corr=float(e_old),
+        e_scf=float(e_scf),
+        converged=converged,
+        n_iter=it,
+    )

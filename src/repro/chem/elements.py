@@ -1,0 +1,22 @@
+"""Periodic-table data needed by the integrals and SCF code."""
+from __future__ import annotations
+
+__all__ = ["SYMBOLS", "atomic_number", "ANGSTROM_TO_BOHR"]
+
+# Elements H..Ar cover every molecule in the paper's evaluation.
+SYMBOLS = [
+    "H", "He",
+    "Li", "Be", "B", "C", "N", "O", "F", "Ne",
+    "Na", "Mg", "Al", "Si", "P", "S", "Cl", "Ar",
+]
+
+_Z = {sym: i + 1 for i, sym in enumerate(SYMBOLS)}
+
+ANGSTROM_TO_BOHR = 1.8897259886
+
+
+def atomic_number(symbol: str) -> int:
+    try:
+        return _Z[symbol.capitalize() if len(symbol) > 1 else symbol.upper()]
+    except KeyError as exc:
+        raise ValueError(f"unsupported element {symbol!r} (H..Ar supported)") from exc

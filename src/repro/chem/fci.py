@@ -1,0 +1,34 @@
+"""Full configuration interaction via the sector-restricted qubit Hamiltonian.
+
+This deliberately reuses the Jordan-Wigner + compressed-storage machinery that
+the VMC local-energy kernel consumes: the FCI matvec applies exactly the same
+"XOR flip + YZ parity sign" arithmetic to the whole determinant sector, so a
+correct FCI energy doubles as an integration test of the Hamiltonian pipeline.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamiltonian.exact import SectorBasis, exact_ground_state
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+
+__all__ = ["FCIResult", "run_fci"]
+
+
+@dataclass
+class FCIResult:
+    energy: float
+    ground_state: np.ndarray
+    basis: SectorBasis
+
+    @property
+    def dim(self) -> int:
+        return self.basis.dim
+
+
+def run_fci(hamiltonian: QubitHamiltonian, n_up: int | None = None,
+            n_dn: int | None = None) -> FCIResult:
+    e, vec, basis = exact_ground_state(hamiltonian, n_up=n_up, n_dn=n_dn)
+    return FCIResult(energy=e, ground_state=vec, basis=basis)

@@ -1,0 +1,62 @@
+"""Molecular geometry container."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.elements import ANGSTROM_TO_BOHR, atomic_number
+
+__all__ = ["Molecule"]
+
+
+@dataclass(frozen=True)
+class Molecule:
+    """A molecule: element symbols + coordinates (stored in Bohr).
+
+    ``charge`` shifts the electron count; ``n_electrons`` is derived.
+    """
+
+    symbols: tuple[str, ...]
+    coords: tuple[tuple[float, float, float], ...]  # Bohr
+    charge: int = 0
+    name: str = ""
+
+    @staticmethod
+    def from_angstrom(atoms: list[tuple[str, tuple[float, float, float]]],
+                      charge: int = 0, name: str = "") -> "Molecule":
+        symbols = tuple(sym for sym, _ in atoms)
+        coords = tuple(
+            tuple(float(c) * ANGSTROM_TO_BOHR for c in xyz) for _, xyz in atoms
+        )
+        return Molecule(symbols, coords, charge=charge, name=name)
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def atomic_numbers(self) -> np.ndarray:
+        return np.array([atomic_number(s) for s in self.symbols], dtype=np.int64)
+
+    @property
+    def n_electrons(self) -> int:
+        return int(self.atomic_numbers.sum()) - self.charge
+
+    @property
+    def coords_array(self) -> np.ndarray:
+        return np.array(self.coords, dtype=np.float64)
+
+    def nuclear_repulsion(self) -> float:
+        """E_nn = sum_{A<B} Z_A Z_B / |R_A - R_B| (Hartree)."""
+        z = self.atomic_numbers.astype(np.float64)
+        r = self.coords_array
+        e = 0.0
+        for a in range(self.n_atoms):
+            for b in range(a + 1, self.n_atoms):
+                e += z[a] * z[b] / np.linalg.norm(r[a] - r[b])
+        return e
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "".join(self.symbols)
+        return f"Molecule({label}, {self.n_electrons} e-)"

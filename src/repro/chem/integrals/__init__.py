@@ -1,0 +1,16 @@
+"""Gaussian integral engine (McMurchie-Davidson)."""
+from repro.chem.integrals.boys import boys, boys_array
+from repro.chem.integrals.driver import AOIntegrals, compute_integrals
+from repro.chem.integrals.one_electron import kinetic, nuclear_attraction, overlap
+from repro.chem.integrals.two_electron import electron_repulsion
+
+__all__ = [
+    "boys",
+    "boys_array",
+    "AOIntegrals",
+    "compute_integrals",
+    "kinetic",
+    "nuclear_attraction",
+    "overlap",
+    "electron_repulsion",
+]

@@ -1,0 +1,33 @@
+"""The Boys function F_m(x) = ∫_0^1 t^{2m} exp(-x t^2) dt.
+
+Evaluated through Kummer's confluent hypergeometric function,
+F_m(x) = 1F1(m + 1/2; m + 3/2; -x) / (2m + 1), which scipy computes stably
+for the argument ranges occurring in molecular integrals.  Downward recursion
+fills all orders 0..m_max from the highest one.
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import hyp1f1
+
+__all__ = ["boys", "boys_array"]
+
+
+def boys(m: int, x: float) -> float:
+    return float(hyp1f1(m + 0.5, m + 1.5, -x)) / (2 * m + 1)
+
+
+def boys_array(m_max: int, x: np.ndarray) -> np.ndarray:
+    """F_m(x) for m = 0..m_max, vectorized over x.
+
+    Returns shape ``(m_max + 1, *x.shape)``.  Uses the downward recursion
+    F_m(x) = (2x F_{m+1}(x) + exp(-x)) / (2m + 1), which is numerically stable
+    (upward recursion loses precision at small x).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty((m_max + 1,) + x.shape)
+    out[m_max] = hyp1f1(m_max + 0.5, m_max + 1.5, -x) / (2 * m_max + 1)
+    ex = np.exp(-x)
+    for m in range(m_max - 1, -1, -1):
+        out[m] = (2.0 * x * out[m + 1] + ex) / (2 * m + 1)
+    return out

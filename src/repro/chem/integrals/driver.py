@@ -1,0 +1,66 @@
+"""Integral driver: assemble spherical-AO integral tensors for a molecule."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.basis.shells import BasisSet, build_basis
+from repro.chem.geometry import Molecule
+from repro.chem.integrals.one_electron import dipole, kinetic, nuclear_attraction, overlap
+from repro.chem.integrals.two_electron import electron_repulsion
+
+__all__ = ["AOIntegrals", "compute_integrals", "compute_dipole_integrals"]
+
+
+@dataclass
+class AOIntegrals:
+    """AO-basis integrals in the spherical-harmonic basis.
+
+    ``eri`` uses chemists' notation: eri[p,q,r,s] = (pq|rs).
+    """
+
+    molecule: Molecule
+    basis: BasisSet
+    S: np.ndarray
+    T: np.ndarray
+    V: np.ndarray
+    eri: np.ndarray
+    e_nuc: float
+
+    @property
+    def hcore(self) -> np.ndarray:
+        return self.T + self.V
+
+    @property
+    def n_ao(self) -> int:
+        return self.S.shape[0]
+
+
+def compute_dipole_integrals(
+    molecule: Molecule, basis_name: str = "sto-3g", origin=None
+) -> np.ndarray:
+    """Spherical-AO first-moment integrals ``(3, n_ao, n_ao)`` about ``origin``."""
+    basis = build_basis(molecule, basis_name)
+    C = basis.cart_to_sph_matrix()
+    D = dipole(basis, origin=origin)
+    return np.stack([C @ D[w] @ C.T for w in range(3)])
+
+
+def compute_integrals(molecule: Molecule, basis_name: str = "sto-3g") -> AOIntegrals:
+    basis = build_basis(molecule, basis_name)
+    C = basis.cart_to_sph_matrix()  # (n_sph, n_cart)
+    S = C @ overlap(basis) @ C.T
+    T = C @ kinetic(basis) @ C.T
+    V = C @ nuclear_attraction(basis) @ C.T
+    eri_cart = electron_repulsion(basis)
+    eri = np.einsum("pi,qj,rk,sl,ijkl->pqrs", C, C, C, C, eri_cart, optimize=True)
+    return AOIntegrals(
+        molecule=molecule,
+        basis=basis,
+        S=S,
+        T=T,
+        V=V,
+        eri=eri,
+        e_nuc=molecule.nuclear_repulsion(),
+    )

@@ -1,0 +1,108 @@
+"""AO -> MO and spatial -> spin-orbital integral transformations.
+
+Spin-orbital convention (matches the paper's Jordan-Wigner layout, Sec. 3.3):
+spatial orbital ``i`` maps to the two *interleaved* spin orbitals / qubits
+``2i`` (spin up / alpha) and ``2i + 1`` (spin down / beta).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.integrals.driver import AOIntegrals
+from repro.chem.scf.rhf import RHFResult
+
+__all__ = ["MOIntegrals", "SpinOrbitalIntegrals", "mo_transform", "to_spin_orbitals"]
+
+
+@dataclass
+class MOIntegrals:
+    """MO-basis integrals (spatial orbitals, chemists' notation (pq|rs))."""
+
+    h: np.ndarray      # (n, n) core Hamiltonian in MO basis
+    eri: np.ndarray    # (n, n, n, n), (pq|rs)
+    e_nuc: float
+    n_electrons: int
+
+    @property
+    def n_orb(self) -> int:
+        return self.h.shape[0]
+
+
+@dataclass
+class SpinOrbitalIntegrals:
+    """Spin-orbital integrals: h1[P,Q] and antisymmetrized <PQ||RS>."""
+
+    h1: np.ndarray       # (2n, 2n)
+    g2: np.ndarray       # (2n, 2n, 2n, 2n) physicists' <PQ|RS> (not antisym.)
+    e_nuc: float
+    n_electrons: int
+
+    @property
+    def n_so(self) -> int:
+        return self.h1.shape[0]
+
+    @property
+    def antisymmetrized(self) -> np.ndarray:
+        """<PQ||RS> = <PQ|RS> - <PQ|SR>."""
+        return self.g2 - self.g2.transpose(0, 1, 3, 2)
+
+
+def mo_transform(ints: AOIntegrals, scf: RHFResult, n_frozen: int = 0,
+                 n_active: int | None = None) -> MOIntegrals:
+    """Rotate AO integrals into the (optionally frozen-core) MO basis.
+
+    ``n_frozen`` doubly-occupied core orbitals are folded into an effective
+    core energy and one-body operator; ``n_active`` truncates virtuals.
+    """
+    C = scf.mo_coeff
+    h_mo = C.T @ ints.hcore @ C
+    eri_mo = np.einsum(
+        "pi,qj,rk,sl,pqrs->ijkl", C, C, C, C, ints.eri, optimize=True
+    )
+    e_core = ints.e_nuc
+    if n_frozen:
+        core = slice(0, n_frozen)
+        # Frozen-core energy: 2 sum_c h_cc + sum_cd (2 (cc|dd) - (cd|dc))
+        e_core += 2.0 * np.trace(h_mo[core, core])
+        e_core += np.einsum("ccdd->", 2.0 * eri_mo[core, core, core, core])
+        e_core -= np.einsum("cddc->", eri_mo[core, core, core, core])
+        # Effective one-body term for active electrons.
+        h_eff = (
+            h_mo
+            + 2.0 * np.einsum("pqcc->pq", eri_mo[:, :, core, core])
+            - np.einsum("pccq->pq", eri_mo[:, core, core, :])
+        )
+        h_mo = h_eff
+    lo = n_frozen
+    hi = lo + n_active if n_active is not None else h_mo.shape[0]
+    act = slice(lo, hi)
+    return MOIntegrals(
+        h=h_mo[act, act],
+        eri=eri_mo[act, act, act, act],
+        e_nuc=float(e_core),
+        n_electrons=ints.molecule.n_electrons - 2 * n_frozen,
+    )
+
+
+def to_spin_orbitals(mo: MOIntegrals) -> SpinOrbitalIntegrals:
+    """Expand spatial MO integrals into interleaved spin orbitals.
+
+    ``g2`` is returned in physicists' notation <PQ|RS> = (PR|QS)_chem with the
+    spin selection rules sigma(P)=sigma(R), sigma(Q)=sigma(S).
+    """
+    n = mo.n_orb
+    ns = 2 * n
+    h1 = np.zeros((ns, ns))
+    h1[0::2, 0::2] = mo.h
+    h1[1::2, 1::2] = mo.h
+    # <PQ|RS> = (pr|qs) delta(sP,sR) delta(sQ,sS)
+    g2 = np.zeros((ns, ns, ns, ns))
+    chem = mo.eri
+    for sp in (0, 1):
+        for sq in (0, 1):
+            g2[sp::2, sq::2, sp::2, sq::2] = chem.transpose(0, 2, 1, 3)
+    return SpinOrbitalIntegrals(
+        h1=h1, g2=g2, e_nuc=mo.e_nuc, n_electrons=mo.n_electrons
+    )

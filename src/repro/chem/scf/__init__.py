@@ -1,0 +1,4 @@
+"""Self-consistent field methods."""
+from repro.chem.scf.rhf import RHFResult, run_rhf
+
+__all__ = ["RHFResult", "run_rhf"]

@@ -1,0 +1,93 @@
+"""The paper's core contribution: QiankunNet ansatz, BAS sampler, VMC."""
+from repro.core.constraints import ParticleNumberConstraint
+from repro.core.wavefunction import NNQSWavefunction, build_qiankunnet
+from repro.core.sampler import (
+    SampleBatch,
+    BASTreeState,
+    autoregressive_sample,
+    batch_autoregressive_sample,
+    bas_prefix_sweep,
+)
+from repro.core.local_energy import (
+    AmplitudeTable,
+    build_amplitude_table,
+    extend_amplitude_table,
+    local_energy,
+    local_energy_baseline,
+    local_energy_sa_fuse,
+    local_energy_sa_fuse_lut,
+    local_energy_vectorized,
+)
+from repro.core.vmc import VMC, VMCConfig, VMCStats, default_ns_schedule
+from repro.core.pretrain import pretrain_to_reference
+from repro.core.mcmc import MCMCStats, RBMVMC, metropolis_sample
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.observables import (
+    EstimateResult,
+    ObservableSet,
+    estimate,
+    fidelity,
+    occupations,
+    one_rdm_sampled,
+    sector_expectation,
+)
+from repro.core.diagnostics import (
+    ExtrapolationResult,
+    correlation_energy_fraction,
+    detect_plateau,
+    v_score,
+    zero_variance_extrapolation,
+)
+from repro.core.sr import SRConfig, SRStepInfo, StochasticReconfiguration
+from repro.core.trainer import TrainConfig, Trainer, TrainReport
+from repro.core.hybrid_sampling import MergeStats, merge_batches, merged_batch_sample
+
+__all__ = [
+    "ParticleNumberConstraint",
+    "NNQSWavefunction",
+    "build_qiankunnet",
+    "SampleBatch",
+    "BASTreeState",
+    "autoregressive_sample",
+    "batch_autoregressive_sample",
+    "bas_prefix_sweep",
+    "AmplitudeTable",
+    "build_amplitude_table",
+    "extend_amplitude_table",
+    "local_energy",
+    "local_energy_baseline",
+    "local_energy_sa_fuse",
+    "local_energy_sa_fuse_lut",
+    "local_energy_vectorized",
+    "VMC",
+    "VMCConfig",
+    "VMCStats",
+    "default_ns_schedule",
+    "pretrain_to_reference",
+    "MCMCStats",
+    "RBMVMC",
+    "metropolis_sample",
+    "load_checkpoint",
+    "save_checkpoint",
+    "EstimateResult",
+    "ObservableSet",
+    "estimate",
+    "fidelity",
+    "occupations",
+    "sector_expectation",
+    "SRConfig",
+    "SRStepInfo",
+    "StochasticReconfiguration",
+    "TrainConfig",
+    "Trainer",
+    "TrainReport",
+    "MergeStats",
+    "merge_batches",
+    "merged_batch_sample",
+    "one_rdm_sampled",
+    "ExtrapolationResult",
+    "correlation_energy_fraction",
+    "detect_plateau",
+    "v_score",
+    "zero_variance_extrapolation",
+]

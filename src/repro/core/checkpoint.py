@@ -1,0 +1,51 @@
+"""Checkpointing: save/restore wavefunction parameters and VMC state.
+
+Long VMC runs (the paper uses up to 1e5 iterations) need resumable state;
+the checkpoint stores the flat parameter vector, optimizer moments and the
+iteration counter in a single ``.npz`` file.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.vmc import VMC
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(vmc: VMC, path: str | Path) -> None:
+    path = Path(path)
+    opt = vmc.optimizer
+    payload = {
+        "params": vmc.wf.get_flat_params(),
+        "iteration": np.array(vmc.iteration),
+        "opt_t": np.array(opt.t),
+        "sched_i": np.array(vmc.schedule.i),
+        "energies": np.array([s.energy for s in vmc.history]),
+    }
+    if opt._m is not None:
+        payload["opt_m"] = np.concatenate([m.reshape(-1) for m in opt._m])
+        payload["opt_v"] = np.concatenate([v.reshape(-1) for v in opt._v])
+    np.savez(path, **payload)
+
+
+def load_checkpoint(vmc: VMC, path: str | Path) -> None:
+    """Restore parameters + optimizer state into an existing VMC driver."""
+    data = np.load(Path(path))
+    vmc.wf.set_flat_params(data["params"])
+    vmc.iteration = int(data["iteration"])
+    vmc.schedule.i = int(data["sched_i"])
+    opt = vmc.optimizer
+    opt.t = int(data["opt_t"])
+    if "opt_m" in data:
+        params = list(vmc.wf.parameters())
+        opt._m = []
+        opt._v = []
+        off = 0
+        for p in params:
+            n = p.size
+            opt._m.append(data["opt_m"][off : off + n].reshape(p.shape).copy())
+            opt._v.append(data["opt_v"][off : off + n].reshape(p.shape).copy())
+            off += n

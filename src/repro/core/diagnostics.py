@@ -1,0 +1,108 @@
+"""Convergence diagnostics for VMC runs.
+
+The paper assesses "the efficacy of the model ... based on convergence
+precision" (Sec. 4.1).  This module provides quantitative diagnostics used by
+the benches and examples:
+
+* :func:`v_score` — the dimensionless variance score
+  ``N_qubits * Var[E_loc] / (E - E_ref)^2`` (Wu et al., "Variational benchmarks
+  for quantum many-body problems"-style metric): the smaller, the closer the
+  ansatz is to an eigenstate relative to the remaining energy error.
+* :func:`zero_variance_extrapolation` — linear fit of E against Var[E_loc]
+  over trailing iterations; an eigenstate has zero variance, so the
+  Var -> 0 intercept is a (non-variational) improved energy estimate.
+* :func:`detect_plateau` — has the energy trace stopped improving?
+* :func:`correlation_energy_fraction` — recovered correlation energy
+  (E_HF - E) / (E_HF - E_FCI), the "who wins" quantity of Table 1.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vmc import VMCStats
+
+__all__ = [
+    "v_score",
+    "zero_variance_extrapolation",
+    "detect_plateau",
+    "correlation_energy_fraction",
+    "ExtrapolationResult",
+]
+
+
+def v_score(energy: float, variance: float, n_qubits: int,
+            e_ref: float = 0.0) -> float:
+    """Dimensionless variance score: N * Var[E_loc] / (E - e_ref)^2.
+
+    ``e_ref`` should be a scale reference (0 for total energies works since
+    |E| >> 1 Ha for molecules; pass E_HF-E style gaps for sharper scoring).
+    """
+    denom = (energy - e_ref) ** 2
+    if denom <= 0.0:
+        raise ValueError("energy must differ from the reference")
+    return float(n_qubits * variance / denom)
+
+
+@dataclass
+class ExtrapolationResult:
+    energy: float          # Var -> 0 intercept
+    slope: float           # dE/dVar of the fit
+    r_squared: float       # fit quality
+    n_points: int
+
+    @property
+    def reliable(self) -> bool:
+        """A meaningful extrapolation needs decent correlation and spread."""
+        return self.n_points >= 5 and self.r_squared > 0.25
+
+
+def zero_variance_extrapolation(history: list[VMCStats],
+                                window: int = 50) -> ExtrapolationResult:
+    """Least-squares fit E = a + b * Var over the trailing ``window`` iterations.
+
+    As the ansatz approaches an eigenstate both E and Var[E_loc] decrease;
+    their joint trajectory is asymptotically linear and the Var=0 intercept
+    estimates the eigenvalue (standard zero-variance extrapolation).
+    """
+    tail = history[-window:]
+    if len(tail) < 2:
+        raise ValueError("need at least two iterations to extrapolate")
+    e = np.array([s.energy for s in tail])
+    v = np.array([s.variance for s in tail])
+    vm, em = v.mean(), e.mean()
+    denom = np.sum((v - vm) ** 2)
+    if denom < 1e-300:
+        return ExtrapolationResult(energy=float(em), slope=0.0, r_squared=0.0,
+                                   n_points=len(tail))
+    slope = float(np.sum((v - vm) * (e - em)) / denom)
+    intercept = float(em - slope * vm)
+    pred = intercept + slope * v
+    ss_res = float(np.sum((e - pred) ** 2))
+    ss_tot = float(np.sum((e - em) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return ExtrapolationResult(energy=intercept, slope=slope, r_squared=r2,
+                               n_points=len(tail))
+
+
+def detect_plateau(history: list[VMCStats], window: int = 50,
+                   rel_tol: float = 1e-6) -> bool:
+    """True when the windowed mean energy stopped improving.
+
+    Compares the means of the last two ``window``-sized blocks; a plateau is
+    declared when the improvement is below ``rel_tol * |E|``.
+    """
+    if len(history) < 2 * window:
+        return False
+    recent = np.mean([s.energy for s in history[-window:]])
+    previous = np.mean([s.energy for s in history[-2 * window : -window]])
+    return bool(previous - recent < rel_tol * abs(recent))
+
+
+def correlation_energy_fraction(energy: float, e_hf: float, e_exact: float) -> float:
+    """(E_HF - E) / (E_HF - E_exact): 0 at HF quality, 1 at exactness."""
+    denom = e_hf - e_exact
+    if abs(denom) < 1e-14:
+        raise ValueError("reference energies coincide; no correlation to recover")
+    return float((e_hf - energy) / denom)

@@ -1,0 +1,373 @@
+"""Local energy evaluation: E_loc(x) = sum_x' H_xx' Psi(x')/Psi(x)  (Eq. 4).
+
+This module reproduces the optimization ladder of Sec. 3.4 / Fig. 10:
+
+* ``local_energy_baseline``   — "bare CPU": per-term Python loops over the
+  Fig. 6(b) layout, materializing every coupled configuration before looking
+  amplitudes up in a Python dict.
+* ``local_energy_sa_fuse``    — methods (2)+(4): compressed XY groups (each
+  unique coupled configuration visited once) with fused accumulation (no
+  materialization), amplitudes from a dict.
+* ``local_energy_sa_fuse_lut``— + method (5): amplitudes in a sorted packed-
+  uint64 lookup table searched with binary search (Algorithm 2's
+  ``binary_find``), still Python loops.
+* ``local_energy_vectorized`` — + method (3): the batch-parallel kernel.  The
+  paper parallelizes over unique samples with CUDA threads; our substitution
+  runs the identical arithmetic as numpy array operations over the sample
+  batch (documented in DESIGN.md).
+
+All sample-aware (SA) engines only credit coupled configurations that appear
+in the amplitude table (Fig. 7(b)).  For unbiased local energies on small
+systems, :func:`extend_amplitude_table` grows the table with *all* coupled
+configurations in the physical sector, evaluated through the wave function —
+the vectorized kernel then computes the exact Eq. (4).
+"""
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampler import SampleBatch
+from repro.core.wavefunction import NNQSWavefunction
+from repro.hamiltonian.compressed import (
+    CompressedHamiltonian,
+    ReferenceHamiltonianData,
+)
+from repro.utils.bitstrings import (
+    lexsort_keys,
+    pack_bits,
+    parity64,
+    popcount64,
+    searchsorted_keys,
+    unpack_bits,
+)
+
+__all__ = [
+    "AmplitudeTable",
+    "build_amplitude_table",
+    "extend_amplitude_table",
+    "local_energy_baseline",
+    "local_energy_sa_fuse",
+    "local_energy_sa_fuse_lut",
+    "local_energy_vectorized",
+    "local_energy",
+]
+
+
+@dataclass
+class AmplitudeTable:
+    """The id_lut / wf_lut pair of Algorithm 2 (sorted keys + log amplitudes)."""
+
+    keys: np.ndarray       # (U, W) uint64, lexsorted
+    log_amps: np.ndarray   # (U,) complex128 — log Psi of each key
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.log_amps)
+
+    def to_dict(self) -> dict[int, complex]:
+        """Python-dict view (used by the non-LUT engines of Fig. 10)."""
+        out = {}
+        w = self.keys.shape[1]
+        for i in range(self.n_entries):
+            key = 0
+            for word in range(w):
+                key |= int(self.keys[i, word]) << (64 * word)
+            out[key] = self.log_amps[i]
+        return out
+
+
+def build_amplitude_table(wf: NNQSWavefunction, batch: SampleBatch) -> AmplitudeTable:
+    """Tabulate log Psi of the unique samples, lexsorted for binary search."""
+    keys = pack_bits(batch.bits)
+    log_amps = wf.log_amplitudes(batch.bits)
+    order = lexsort_keys(keys)
+    return AmplitudeTable(keys=keys[order], log_amps=log_amps[order])
+
+
+def extend_amplitude_table(
+    wf: NNQSWavefunction,
+    comp: CompressedHamiltonian,
+    batch: SampleBatch,
+    table: AmplitudeTable,
+    max_extra: int = 2_000_000,
+) -> AmplitudeTable:
+    """Add every sector-valid coupled configuration to the amplitude table.
+
+    With the extended table the SA kernels compute the *exact* local energy
+    (the sum over x' in Eq. 4 runs over all coupled configurations).
+    """
+    keys = pack_bits(batch.bits)  # (B, W)
+    flips = (keys[:, None, :] ^ comp.xy_unique[None, :, :]).reshape(-1, keys.shape[1])
+    flips = np.unique(flips, axis=0)
+    missing = flips[searchsorted_keys(table.keys, flips) < 0]
+    if len(missing) == 0:
+        return table
+    bits = unpack_bits(missing, comp.n_qubits)
+    if wf.constraint is not None:
+        bits = bits[wf.constraint.validate_bits(bits)]
+    if len(bits) > max_extra:
+        raise ValueError(
+            f"{len(bits)} coupled configurations exceed max_extra={max_extra}; "
+            "use sample-aware mode for this system size"
+        )
+    if len(bits) == 0:
+        return table
+    log_amps = wf.log_amplitudes(bits)
+    all_keys = np.concatenate([table.keys, pack_bits(bits)], axis=0)
+    all_amps = np.concatenate([table.log_amps, log_amps])
+    order = lexsort_keys(all_keys)
+    return AmplitudeTable(keys=all_keys[order], log_amps=all_amps[order])
+
+
+# --------------------------------------------------------------------------
+# Level 0: bare-CPU baseline (Fig. 6(b) layout, term-by-term, dict lookup)
+# --------------------------------------------------------------------------
+def local_energy_baseline(
+    ref: ReferenceHamiltonianData,
+    batch: SampleBatch,
+    amp_dict: dict[int, complex],
+) -> np.ndarray:
+    """The "bare CPU" level of Fig. 10: per-term Python loops, no SA/FUSE/LUT."""
+    n_words = ref.xy.shape[1]
+    # Per-term integer masks and Y phases (independent of the samples).
+    a_masks, b_masks, phases = [], [], []
+    for k in range(ref.n_terms):
+        a = b = 0
+        for w in range(n_words):
+            a |= int(ref.xy[k, w]) << (64 * w)
+            b |= int(ref.yz[k, w]) << (64 * w)
+        a_masks.append(a)
+        b_masks.append(b)
+        phases.append((-1.0) ** (ref.y_occ[k] // 2))
+    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    keys = pack_bits(batch.bits)
+    for s in range(batch.n_unique):
+        x = 0
+        for w in range(n_words):
+            x |= int(keys[s, w]) << (64 * w)
+        la_x = amp_dict[x]
+        # No FUSE: materialize every coupled configuration with its
+        # coefficient (one record per Pauli string — duplicates included,
+        # the O(N_h) memory footprint Sec. 3.4 method (2) eliminates).
+        coupled: list[tuple[int, float]] = []
+        for k in range(ref.n_terms):
+            xp = x ^ a_masks[k]
+            sign = -1.0 if bin(b_masks[k] & x).count("1") % 2 else 1.0
+            coupled.append((xp, ref.coeffs[k] * phases[k] * sign))
+        # No SA dedup: every record triggers its own amplitude lookup (the
+        # compressed structure would visit each unique x' exactly once).
+        acc = 0.0 + 0.0j
+        for xp, coef in coupled:
+            la = amp_dict.get(xp)
+            if la is not None:
+                acc += coef * np.exp(la - la_x)
+        eloc[s] = acc + ref.constant
+    return eloc
+
+
+# --------------------------------------------------------------------------
+# Level 1: SA + FUSE (compressed groups, fused accumulation, boolean storage)
+# --------------------------------------------------------------------------
+def _int_views(comp: CompressedHamiltonian):
+    """Python-int views of the compressed masks (for the scalar engines)."""
+    w = comp.xy_unique.shape[1]
+
+    def to_int(row) -> int:
+        v = 0
+        for word in range(w):
+            v |= int(row[word]) << (64 * word)
+        return v
+
+    xy = [to_int(comp.xy_unique[g]) for g in range(comp.n_groups)]
+    yz = [to_int(comp.yz_buf[k]) for k in range(comp.n_terms)]
+    return xy, yz
+
+
+def local_energy_sa_fuse(
+    comp: CompressedHamiltonian,
+    batch: SampleBatch,
+    amp_dict: dict[int, complex],
+) -> np.ndarray:
+    """Methods (2)+(4): fused accumulation over compressed XY groups.
+
+    Configurations are handled in the paper's pre-LUT representation —
+    "the samples generated on each GPU are stored as boolean lists" (Fig. 7)
+    — so every coupled-state lookup XORs a boolean array and hashes it; the
+    LUT level below replaces this with packed integers + binary search.
+    """
+    from repro.utils.bitstrings import unpack_bits as _unpack
+
+    n = comp.n_qubits
+    xy_bits = _unpack(comp.xy_unique, n)          # (G, N) uint8 flip masks
+    yz_bits = _unpack(comp.yz_buf, n)             # (K, N) uint8 sign masks
+    idxs = comp.idxs
+    coeffs = comp.coeffs_buf
+    # Boolean-keyed amplitude map (bytes of the uint8 bit array).
+    bool_dict: dict[bytes, complex] = {}
+    for key_int, la in amp_dict.items():
+        bits = np.array([(key_int >> j) & 1 for j in range(n)], dtype=np.uint8)
+        bool_dict[bits.tobytes()] = la
+    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    for s in range(batch.n_unique):
+        x_bits = batch.bits[s]
+        la_x = bool_dict[x_bits.tobytes()]
+        acc = 0.0 + 0.0j
+        for g in range(len(xy_bits)):
+            xp = np.bitwise_xor(x_bits, xy_bits[g])
+            la = bool_dict.get(xp.tobytes())
+            if la is None:
+                continue  # sample-aware: skip configurations outside S
+            coef = 0.0
+            for k in range(idxs[g], idxs[g + 1]):
+                par = int(np.bitwise_and(x_bits, yz_bits[k]).sum()) & 1
+                coef += -coeffs[k] if par else coeffs[k]
+            acc += coef * np.exp(la - la_x)
+        eloc[s] = acc + comp.constant
+    return eloc
+
+
+# --------------------------------------------------------------------------
+# Level 2: SA + FUSE + LUT (packed sorted integer keys + binary search)
+# --------------------------------------------------------------------------
+def prepare_scalar_views(comp: CompressedHamiltonian, table: AmplitudeTable):
+    """Precompute the packed-integer structures of method (5) once.
+
+    Returns ``(xy_ints, yz_ints, id_lut, wf_lut)``: Python-int mask views and
+    the sorted integer key list (id_lut) aligned with the amplitude records
+    (wf_lut) — the data layout of Algorithm 2.
+    """
+    xy, yz = _int_views(comp)
+    n_words = table.keys.shape[1]
+    id_lut = []
+    for i in range(table.n_entries):
+        v = 0
+        for w in range(n_words):
+            v |= int(table.keys[i, w]) << (64 * w)
+        id_lut.append(v)
+    return xy, yz, id_lut, table.log_amps
+
+
+def local_energy_sa_fuse_lut(
+    comp: CompressedHamiltonian,
+    batch: SampleBatch,
+    table: AmplitudeTable,
+    views=None,
+) -> np.ndarray:
+    """Method (5) added: packed u64 keys, ``bisect`` = Algorithm 2's binary_find."""
+    xy, yz, id_lut, wf_lut = views if views is not None else prepare_scalar_views(comp, table)
+    idxs = comp.idxs
+    coeffs = comp.coeffs_buf
+    keys = pack_bits(batch.bits)
+    n_words = keys.shape[1]
+    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    n_entries = len(id_lut)
+    for s in range(batch.n_unique):
+        x = 0
+        for w in range(n_words):
+            x |= int(keys[s, w]) << (64 * w)
+        pos = bisect_left(id_lut, x)
+        la_x = wf_lut[pos]
+        acc = 0.0 + 0.0j
+        for g in range(len(xy)):
+            xp = x ^ xy[g]
+            pos = bisect_left(id_lut, xp)
+            if pos >= n_entries or id_lut[pos] != xp:
+                continue
+            coef = 0.0
+            for k in range(idxs[g], idxs[g + 1]):
+                coef += coeffs[k] if bin(x & yz[k]).count("1") % 2 == 0 else -coeffs[k]
+            acc += coef * np.exp(wf_lut[pos] - la_x)
+        eloc[s] = acc + comp.constant
+    return eloc
+
+
+# --------------------------------------------------------------------------
+# Level 3: the batch-vectorized kernel (the GPU substitute, Algorithm 2)
+# --------------------------------------------------------------------------
+def local_energy_vectorized(
+    comp: CompressedHamiltonian,
+    batch: SampleBatch,
+    table: AmplitudeTable,
+    group_chunk: int = 512,
+    sample_chunk: int = 4096,
+) -> np.ndarray:
+    """Vectorized SA+FUSE+LUT kernel; chunked to bound peak memory.
+
+    The double chunking mirrors the paper's two-level parallelization: the
+    outer sample chunks correspond to the per-thread batches of Fig. 7(a),
+    the inner group chunks to the Pauli-string loop of Algorithm 2.
+    """
+    keys_all = pack_bits(batch.bits)
+    idx_self = searchsorted_keys(table.keys, keys_all)
+    if np.any(idx_self < 0):
+        raise ValueError("amplitude table must contain every sample")
+    la_self_all = table.log_amps[idx_self]
+
+    eloc = np.full(batch.n_unique, comp.constant, dtype=np.complex128)
+    group_sizes = np.diff(comp.idxs).astype(np.int64)
+
+    for s0 in range(0, batch.n_unique, sample_chunk):
+        s1 = min(s0 + sample_chunk, batch.n_unique)
+        keys = keys_all[s0:s1]
+        la_x = la_self_all[s0:s1]
+        b = s1 - s0
+        acc = np.zeros(b, dtype=np.complex128)
+        for g0 in range(0, comp.n_groups, group_chunk):
+            g1 = min(g0 + group_chunk, comp.n_groups)
+            # Coupled configurations + lookup (cheap: XOR + binary search).
+            flips = keys[:, None, :] ^ comp.xy_unique[None, g0:g1, :]
+            idx = searchsorted_keys(table.keys, flips.reshape(-1, keys.shape[1]))
+            idx = idx.reshape(b, g1 - g0)
+            s_hit, g_hit = np.nonzero(idx >= 0)
+            if len(s_hit) == 0:
+                continue
+            # Coefficients only for the (sample, group) pairs actually found —
+            # the vectorized counterpart of Algorithm 2's continue-on-missing.
+            g_abs = g_hit + g0
+            sizes = group_sizes[g_abs]                       # terms per pair
+            starts = comp.idxs[g_abs]
+            # term index array: concat of [starts_p, starts_p + sizes_p)
+            total = int(sizes.sum())
+            term_idx = np.repeat(starts, sizes) + (
+                np.arange(total) - np.repeat(np.cumsum(sizes) - sizes, sizes)
+            )
+            pair_of_term = np.repeat(np.arange(len(s_hit)), sizes)
+            par = (
+                parity64(keys[s_hit][pair_of_term] & comp.yz_buf[term_idx]).sum(axis=1)
+                & 1
+            )
+            signed = comp.coeffs_buf[term_idx] * (1.0 - 2.0 * par)
+            coef = np.bincount(pair_of_term, weights=signed, minlength=len(s_hit))
+            ratios = np.exp(table.log_amps[idx[s_hit, g_hit]] - la_x[s_hit])
+            contrib = coef * ratios
+            acc += np.bincount(s_hit, weights=contrib.real, minlength=b) + 1j * np.bincount(
+                s_hit, weights=contrib.imag, minlength=b
+            )
+        eloc[s0:s1] += acc
+    return eloc
+
+
+def local_energy(
+    wf: NNQSWavefunction,
+    comp: CompressedHamiltonian,
+    batch: SampleBatch,
+    mode: str = "exact",
+    table: AmplitudeTable | None = None,
+) -> tuple[np.ndarray, AmplitudeTable]:
+    """High-level entry point used by the VMC driver.
+
+    ``mode='exact'`` extends the amplitude table with all coupled
+    configurations (unbiased Eq. 4); ``mode='sample_aware'`` restricts the sum
+    to the sampled set S (method (4) of Sec. 3.4 — cheap, slightly biased,
+    exact in the limit where S covers the wave function's support).
+    """
+    if table is None:
+        table = build_amplitude_table(wf, batch)
+    if mode == "exact":
+        table = extend_amplitude_table(wf, comp, batch, table)
+    elif mode != "sample_aware":
+        raise ValueError(f"unknown local-energy mode {mode!r}")
+    return local_energy_vectorized(comp, batch, table), table

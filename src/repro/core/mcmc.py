@@ -1,0 +1,149 @@
+"""Metropolis-Hastings sampling + VMC for non-autoregressive ansatze (RBM).
+
+This is the sampling regime the paper's batch autoregressive sampling
+replaces: a Markov chain over particle-number-conserving moves (exchange an
+occupied and an empty spin orbital of the same spin), with acceptance
+|Psi(x')/Psi(x)|^2.  Exposes the same SampleBatch contract as the BAS
+sampler so the compressed-Hamiltonian local-energy kernels apply unchanged —
+which is exactly what makes the sampling-cost comparison (bench_ablations)
+apples-to-apples.
+
+``RBMVMC`` optimizes the RBM with the standard complex-parameter VMC
+gradient  grad = 2 Re( <E_loc* O> - <E_loc>* <O> )  where O = d log Psi / d
+theta, optionally preconditioned with stochastic reconfiguration (SR) — the
+technique the paper notes conventional NNQS needs for stable convergence
+(Sec. 1, challenge 1).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampler import SampleBatch
+from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamiltonian
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+from repro.nn.rbm import RBMWavefunction
+from repro.core.local_energy import AmplitudeTable, local_energy_vectorized
+from repro.utils.bitstrings import lexsort_keys, pack_bits
+
+__all__ = ["metropolis_sample", "MCMCStats", "RBMVMC"]
+
+
+@dataclass
+class MCMCStats:
+    acceptance_rate: float
+    n_sweeps: int
+
+
+def _exchange_move(bits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Propose a same-spin occupied->empty exchange (number conserving)."""
+    out = bits.copy()
+    n = bits.shape[0]
+    spin = rng.integers(0, 2)
+    channel = np.arange(spin, n, 2)
+    occ = channel[bits[channel] == 1]
+    emp = channel[bits[channel] == 0]
+    if len(occ) == 0 or len(emp) == 0:
+        return out
+    out[rng.choice(occ)] = 0
+    out[rng.choice(emp)] = 1
+    return out
+
+
+def metropolis_sample(
+    wf,
+    start_bits: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator,
+    n_burnin: int = 200,
+    thin: int = 2,
+) -> tuple[SampleBatch, MCMCStats]:
+    """Single-chain Metropolis sampling of |Psi(x)|^2.
+
+    ``wf`` needs only ``log_amplitudes``; the chain records every ``thin``-th
+    state after burn-in and the output collapses duplicates into the
+    (unique, weight) SampleBatch format.
+    """
+    x = np.asarray(start_bits, dtype=np.uint8).copy()
+    log_p = 2.0 * np.real(wf.log_amplitudes(x[None, :])[0])
+    accepted = 0
+    proposed = 0
+    records: list[bytes] = []
+    total_steps = n_burnin + n_samples * thin
+    for step in range(total_steps):
+        cand = _exchange_move(x, rng)
+        log_p_cand = 2.0 * np.real(wf.log_amplitudes(cand[None, :])[0])
+        proposed += 1
+        if np.log(rng.random() + 1e-300) < log_p_cand - log_p:
+            x = cand
+            log_p = log_p_cand
+            accepted += 1
+        if step >= n_burnin and (step - n_burnin) % thin == 0:
+            records.append(x.tobytes())
+    counts: dict[bytes, int] = {}
+    for r in records:
+        counts[r] = counts.get(r, 0) + 1
+    bits = np.array([np.frombuffer(k, dtype=np.uint8) for k in counts])
+    weights = np.array(list(counts.values()), dtype=np.int64)
+    return (
+        SampleBatch(bits=bits, weights=weights),
+        MCMCStats(acceptance_rate=accepted / max(proposed, 1), n_sweeps=total_steps),
+    )
+
+
+class RBMVMC:
+    """VMC for the RBM baseline: MCMC sampling + analytic gradient (+SR)."""
+
+    def __init__(self, wf: RBMWavefunction,
+                 hamiltonian: QubitHamiltonian | CompressedHamiltonian,
+                 start_bits: np.ndarray, n_samples: int = 2000,
+                 lr: float = 0.02, use_sr: bool = False,
+                 sr_shift: float = 1e-3, seed: int = 0):
+        self.wf = wf
+        self.comp = (
+            hamiltonian
+            if isinstance(hamiltonian, CompressedHamiltonian)
+            else compress_hamiltonian(hamiltonian)
+        )
+        self.start_bits = np.asarray(start_bits, dtype=np.uint8)
+        self.n_samples = n_samples
+        self.lr = lr
+        self.use_sr = use_sr
+        self.sr_shift = sr_shift
+        self.rng = np.random.default_rng(seed)
+        self.history: list[float] = []
+
+    def step(self) -> float:
+        batch, _ = metropolis_sample(
+            self.wf, self.start_bits, self.n_samples, self.rng
+        )
+        keys = pack_bits(batch.bits)
+        order = lexsort_keys(keys)
+        table = AmplitudeTable(
+            keys=keys[order], log_amps=self.wf.log_amplitudes(batch.bits)[order]
+        )
+        sorted_batch = SampleBatch(bits=batch.bits[order], weights=batch.weights[order])
+        eloc = local_energy_vectorized(self.comp, sorted_batch, table)
+        w = sorted_batch.weights / sorted_batch.weights.sum()
+        e_mean = np.sum(w * eloc)
+        self.history.append(float(e_mean.real))
+
+        # Complex VMC gradient: grad_k = 2 Re( <(E_loc - E)^* O_k> ).
+        O = self.wf.log_psi_grad(sorted_batch.bits)          # (B, M) complex
+        centered = (eloc - e_mean).conj()
+        grad = 2.0 * np.real(np.einsum("b,b,bm->m", w, centered, O))
+        if self.use_sr:
+            O_mean = np.einsum("b,bm->m", w, O)
+            Oc = O - O_mean[None, :]
+            S = np.einsum("b,bm,bn->mn", w, Oc.conj(), Oc).real
+            S[np.diag_indices_from(S)] += self.sr_shift
+            grad = np.linalg.solve(S, grad)
+        flat = self.wf.get_flat_params()
+        self.wf.set_flat_params(flat - self.lr * grad)
+        return float(e_mean.real)
+
+    def run(self, n_iterations: int) -> list[float]:
+        for _ in range(n_iterations):
+            self.step()
+        return self.history

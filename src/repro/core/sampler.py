@@ -1,0 +1,168 @@
+"""Autoregressive sampling and batch autoregressive sampling (BAS, Fig. 3).
+
+Plain autoregressive sampling draws one configuration per run (N local
+samplings).  BAS instead pushes a *budget* of N_s samples down the sampling
+tree at once: at every step the current unique prefixes hold integer weights
+(occurrence counts) that are split multinomially among the allowed child
+tokens, and zero-weight children are pruned.  The output is the set of unique
+samples with their occurrence counts — N_s can be astronomically large (the
+paper uses up to 1e12) at a cost that depends only on the number of unique
+prefixes per layer.
+
+``SampleBatch`` is the data-centric unit handed to the local-energy kernel
+and the gradient step (Fig. 4): unique bitstrings, weights, and nothing else.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.wavefunction import NNQSWavefunction
+
+__all__ = ["SampleBatch", "autoregressive_sample", "batch_autoregressive_sample", "BASTreeState"]
+
+
+@dataclass
+class SampleBatch:
+    """Unique samples with occurrence weights (the paper's N_u records)."""
+
+    bits: np.ndarray     # (U, N) uint8
+    weights: np.ndarray  # (U,) int64 occurrence counts; sum = N_s
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.weights)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.weights.sum())
+
+    def frequencies(self) -> np.ndarray:
+        return self.weights / max(self.n_samples, 1)
+
+
+@dataclass
+class BASTreeState:
+    """An intermediate layer of the BAS tree (used by the parallel splitter)."""
+
+    prefixes: np.ndarray   # (P, k) tokens
+    weights: np.ndarray    # (P,) int64
+    counts_up: np.ndarray  # (P,)
+    counts_dn: np.ndarray  # (P,)
+    step: int
+
+
+def autoregressive_sample(wf: NNQSWavefunction, n_samples: int,
+                          rng: np.random.Generator) -> SampleBatch:
+    """Fig. 3(a): one sample per run — the O(N_s N^3) reference algorithm."""
+    t = wf.n_tokens
+    tokens = np.zeros((n_samples, 0), dtype=np.int64)
+    cu = np.zeros(n_samples, dtype=np.int64)
+    cd = np.zeros(n_samples, dtype=np.int64)
+    for step in range(t):
+        probs = wf.conditional_probs(tokens, cu, cd)  # (B, vocab)
+        u = rng.random((n_samples, 1))
+        choice = (probs.cumsum(axis=1) < u).sum(axis=1)
+        choice = np.minimum(choice, wf.vocab_size - 1)
+        tokens = np.concatenate([tokens, choice[:, None]], axis=1)
+        du, dd = wf.sector_counts(choice[:, None])
+        cu += du
+        cd += dd
+    bits = wf.tokens_to_bits(tokens)
+    # Collapse duplicates into (unique, weight) form.
+    uniq, inverse = np.unique(bits, axis=0, return_inverse=True)
+    weights = np.bincount(inverse, minlength=len(uniq)).astype(np.int64)
+    return SampleBatch(bits=uniq.astype(np.uint8), weights=weights)
+
+
+def _multinomial_rows(rng: np.random.Generator, weights: np.ndarray,
+                      probs: np.ndarray) -> np.ndarray:
+    """Split each integer weight among the outcomes of its probability row."""
+    out = np.zeros(probs.shape, dtype=np.int64)
+    for i in range(len(weights)):  # rows are few (unique prefixes), keep simple
+        out[i] = rng.multinomial(int(weights[i]), probs[i])
+    return out
+
+
+def _bas_step(wf: NNQSWavefunction, state: BASTreeState,
+              rng: np.random.Generator) -> BASTreeState:
+    """One local sampling step: expand every prefix, prune zero weights."""
+    probs = wf.conditional_probs(state.prefixes, state.counts_up, state.counts_dn)
+    counts = _multinomial_rows(rng, state.weights, probs)  # (P, vocab)
+    parent_idx, token = np.nonzero(counts)
+    new_prefixes = np.concatenate(
+        [state.prefixes[parent_idx], token[:, None]], axis=1
+    )
+    du, dd = wf.sector_counts(token[:, None].astype(np.int64))
+    return BASTreeState(
+        prefixes=new_prefixes,
+        weights=counts[parent_idx, token],
+        counts_up=state.counts_up[parent_idx] + du,
+        counts_dn=state.counts_dn[parent_idx] + dd,
+        step=state.step + 1,
+    )
+
+
+def initial_tree_state(batch: int = 1) -> BASTreeState:
+    """Empty BAS tree root (step 0, no prefixes, zero weights)."""
+    return BASTreeState(
+        prefixes=np.zeros((batch, 0), dtype=np.int64),
+        weights=np.zeros(batch, dtype=np.int64),
+        counts_up=np.zeros(batch, dtype=np.int64),
+        counts_dn=np.zeros(batch, dtype=np.int64),
+        step=0,
+    )
+
+
+def batch_autoregressive_sample(
+    wf: NNQSWavefunction,
+    n_samples: int,
+    rng: np.random.Generator,
+    start: BASTreeState | None = None,
+) -> SampleBatch:
+    """Fig. 3(b): generate N_s samples in one tree sweep, cost ~ O(N_u N^3/3).
+
+    ``start`` allows resuming from a mid-tree state — the hook used by the
+    parallel BAS of Fig. 5, where ranks share the first k steps and then
+    continue on disjoint subsets of the layer-k nodes.
+    """
+    state = start
+    if state is None:
+        state = initial_tree_state()
+        state = BASTreeState(
+            prefixes=state.prefixes,
+            weights=np.array([n_samples], dtype=np.int64),
+            counts_up=state.counts_up,
+            counts_dn=state.counts_dn,
+            step=0,
+        )
+    while state.step < wf.n_tokens:
+        state = _bas_step(wf, state, rng)
+    bits = wf.tokens_to_bits(state.prefixes)
+    return SampleBatch(bits=bits, weights=state.weights.copy())
+
+
+def bas_prefix_sweep(
+    wf: NNQSWavefunction,
+    n_samples: int,
+    rng: np.random.Generator,
+    stop_unique: int,
+) -> BASTreeState:
+    """Run BAS until the layer holds >= stop_unique nodes (or the tree ends).
+
+    This implements the paper's dynamic choice of the split step k: "we set a
+    threshold N_u^* and choose k to be the first local sampling step such that
+    the current number of unique samples N_{u,k} is larger than N_u^*".
+    """
+    state = initial_tree_state()
+    state = BASTreeState(
+        prefixes=state.prefixes,
+        weights=np.array([n_samples], dtype=np.int64),
+        counts_up=state.counts_up,
+        counts_dn=state.counts_dn,
+        step=0,
+    )
+    while state.step < wf.n_tokens and len(state.weights) < stop_unique:
+        state = _bas_step(wf, state, rng)
+    return state

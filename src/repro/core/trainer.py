@@ -1,0 +1,230 @@
+"""High-level training orchestration — the paper's Sec. 4.1 protocol.
+
+The paper trains in two phases: a pre-training stage with a small sample
+budget (N_s = 1e5 for the first ~100 iterations) followed by a growing
+budget (up to 1e12) "for accurate calculation", assessed by convergence
+precision.  :class:`Trainer` packages that protocol around the serial
+:class:`~repro.core.vmc.VMC` driver:
+
+* optional supervised warm start on the HF determinant;
+* the growing N_s schedule (``default_ns_schedule``);
+* periodic checkpointing (resumable runs);
+* plateau-based early stopping (``repro.core.diagnostics.detect_plateau``);
+* a machine-readable run log (JSON lines: iteration, energy, variance, N_u);
+* a final :class:`TrainReport` with the trailing-window energy, the
+  zero-variance extrapolation and, when references are supplied, the error
+  against FCI and the recovered correlation fraction.
+"""
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.diagnostics import (
+    correlation_energy_fraction,
+    detect_plateau,
+    v_score,
+    zero_variance_extrapolation,
+)
+from repro.core.pretrain import pretrain_to_reference
+from repro.core.vmc import VMC, VMCConfig, default_ns_schedule
+from repro.core.wavefunction import NNQSWavefunction
+from repro.hamiltonian.compressed import CompressedHamiltonian
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+
+__all__ = ["TrainConfig", "TrainReport", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    max_iterations: int = 1000
+    pretrain_steps: int = 200          # 0 disables the warm start
+    pretrain_target: float = 0.5
+    ns_pretrain: int = 10**5           # Sec. 4.1: small N_s early
+    ns_max: int = 10**12               # ... growing toward 1e12
+    ns_growth: float = 1.3
+    pretrain_iters: int = 100          # iterations before N_s starts growing
+    eloc_mode: str = "exact"
+    warmup: int = 4000
+    lr_scale: float = 1.0
+    seed: int = 0
+    # stopping + logging
+    plateau_window: int = 100
+    plateau_rel_tol: float = 1e-7
+    early_stop: bool = True
+    checkpoint_every: int = 0          # 0 disables
+    checkpoint_path: str | Path | None = None
+    log_path: str | Path | None = None
+    log_every: int = 0                 # console prints
+
+
+@dataclass
+class TrainReport:
+    energy: float
+    best_energy: float
+    iterations: int
+    wall_time: float
+    stopped_early: bool
+    extrapolated_energy: float | None
+    v_score: float | None
+    error_vs_reference: float | None = None
+    correlation_fraction: float | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"iterations        {self.iterations}"
+            + ("  (early stop: plateau)" if self.stopped_early else ""),
+            f"final energy      {self.energy:+.6f} Ha",
+            f"best energy       {self.best_energy:+.6f} Ha",
+        ]
+        if self.extrapolated_energy is not None:
+            lines.append(f"zero-var extrap.  {self.extrapolated_energy:+.6f} Ha")
+        if self.error_vs_reference is not None:
+            lines.append(f"|E - E_ref|       {abs(self.error_vs_reference):.2e} Ha")
+        if self.correlation_fraction is not None:
+            lines.append(f"corr. recovered   {100 * self.correlation_fraction:.1f}%")
+        lines.append(f"wall time         {self.wall_time:.1f} s")
+        return "\n".join(lines)
+
+
+class Trainer:
+    """Run the full Sec. 4.1 training protocol for one molecular problem."""
+
+    def __init__(
+        self,
+        wf: NNQSWavefunction,
+        hamiltonian: QubitHamiltonian | CompressedHamiltonian,
+        config: TrainConfig | None = None,
+        hf_bits: np.ndarray | None = None,
+        e_hf: float | None = None,
+        e_reference: float | None = None,
+    ):
+        self.wf = wf
+        self.config = config or TrainConfig()
+        self.hf_bits = hf_bits
+        self.e_hf = e_hf
+        self.e_reference = e_reference
+        cfg = self.config
+        schedule = default_ns_schedule(
+            pretrain_iters=cfg.pretrain_iters,
+            ns_pretrain=cfg.ns_pretrain,
+            ns_max=cfg.ns_max,
+            growth=cfg.ns_growth,
+        )
+        self.vmc = VMC(
+            wf,
+            hamiltonian,
+            VMCConfig(
+                n_samples=schedule,
+                eloc_mode=cfg.eloc_mode,
+                warmup=cfg.warmup,
+                lr_scale=cfg.lr_scale,
+                seed=cfg.seed,
+            ),
+        )
+        self._log_file = None
+
+    # --------------------------------------------------------------- logging
+    def _log(self, record: dict) -> None:
+        if self.config.log_path is None:
+            return
+        if self._log_file is None:
+            self._log_file = open(self.config.log_path, "a")
+        self._log_file.write(json.dumps(record) + "\n")
+        self._log_file.flush()
+
+    # ------------------------------------------------------------------ main
+    def resume(self, path: str | Path) -> None:
+        """Restore a checkpoint written by a previous :meth:`train` call."""
+        load_checkpoint(self.vmc, path)
+
+    def train(self) -> TrainReport:
+        cfg = self.config
+        t0 = time.perf_counter()
+
+        if cfg.pretrain_steps > 0 and self.hf_bits is not None and self.vmc.iteration == 0:
+            pi = pretrain_to_reference(
+                self.wf, self.hf_bits, n_steps=cfg.pretrain_steps,
+                target_prob=cfg.pretrain_target,
+            )
+            self._log({"event": "pretrain", "pi_hf": pi})
+
+        stopped_early = False
+        while self.vmc.iteration < cfg.max_iterations:
+            stats = self.vmc.step()
+            self._log(
+                {
+                    "iteration": stats.iteration,
+                    "energy": stats.energy,
+                    "variance": stats.variance,
+                    "n_unique": stats.n_unique,
+                    "n_samples": stats.n_samples,
+                    "lr": stats.lr,
+                }
+            )
+            if cfg.log_every and stats.iteration % cfg.log_every == 0:
+                print(
+                    f"iter {stats.iteration:5d}  E = {stats.energy:+.6f} Ha  "
+                    f"var = {stats.variance:.2e}  N_u = {stats.n_unique}  "
+                    f"N_s = {stats.n_samples:.0e}"
+                )
+            if (
+                cfg.checkpoint_every
+                and cfg.checkpoint_path is not None
+                and stats.iteration % cfg.checkpoint_every == 0
+            ):
+                save_checkpoint(self.vmc, cfg.checkpoint_path)
+            if (
+                cfg.early_stop
+                and stats.iteration > cfg.pretrain_iters + 2 * cfg.plateau_window
+                and detect_plateau(self.vmc.history, cfg.plateau_window,
+                                   cfg.plateau_rel_tol)
+            ):
+                stopped_early = True
+                break
+
+        if cfg.checkpoint_path is not None:
+            save_checkpoint(self.vmc, cfg.checkpoint_path)
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+
+        return self._report(time.perf_counter() - t0, stopped_early)
+
+    def _report(self, wall: float, stopped_early: bool) -> TrainReport:
+        history = self.vmc.history
+        if not history:
+            raise RuntimeError("train() has not produced any iterations")
+        energy = history[-1].energy
+        best = self.vmc.best_energy()
+        extrap = None
+        score = None
+        try:
+            res = zero_variance_extrapolation(history, window=min(50, len(history)))
+            if res.reliable:
+                extrap = res.energy
+        except ValueError:
+            pass
+        if history[-1].energy != 0.0:
+            score = v_score(best, history[-1].variance, self.wf.n_qubits)
+        err = frac = None
+        if self.e_reference is not None:
+            err = best - self.e_reference
+            if self.e_hf is not None and abs(self.e_hf - self.e_reference) > 1e-14:
+                frac = correlation_energy_fraction(best, self.e_hf, self.e_reference)
+        return TrainReport(
+            energy=energy,
+            best_energy=best,
+            iterations=self.vmc.iteration,
+            wall_time=wall,
+            stopped_early=stopped_early,
+            extrapolated_energy=extrap,
+            v_score=score,
+            error_vs_reference=err,
+            correlation_fraction=frac,
+        )

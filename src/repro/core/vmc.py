@@ -1,0 +1,169 @@
+"""The variational Monte Carlo driver (Fig. 1): sample -> E_loc -> gradient.
+
+One iteration:
+
+1. Batch autoregressive sampling produces N_u unique samples with weights.
+2. Amplitudes of the unique set are tabulated (wf_lut, Algorithm 2) and the
+   local energies evaluated with the vectorized kernel.
+3. The energy estimate is the weighted mean (Eq. 6) and the gradient follows
+   Eq. 7; with Psi = sqrt(pi) e^{i phi} it splits into
+
+   grad = E_p[ Re(E_loc - E) * grad log pi(x) ] + 2 E_p[ Im(E_loc - E) * grad phi(x) ]
+
+   implemented as a surrogate scalar loss with stop-gradient coefficients.
+4. AdamW + the Eq. 13 warmup schedule update the parameters.
+
+The pre-training protocol of Sec. 4.1 (small N_s for the first iterations,
+then growing toward 1e12) is expressed through ``ns_schedule``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core.local_energy import build_amplitude_table, local_energy
+from repro.core.sampler import SampleBatch, batch_autoregressive_sample
+from repro.core.wavefunction import NNQSWavefunction
+from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamiltonian
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+from repro.optim import AdamW, NoamSchedule
+
+__all__ = ["VMCConfig", "VMCStats", "VMC", "default_ns_schedule"]
+
+
+def default_ns_schedule(pretrain_iters: int = 100, ns_pretrain: int = 10**5,
+                        ns_max: int = 10**12, growth: float = 1.3) -> Callable[[int], int]:
+    """The paper's sample-budget schedule: small N_s early, growing to 1e12."""
+
+    def schedule(iteration: int) -> int:
+        if iteration < pretrain_iters:
+            return ns_pretrain
+        n = ns_pretrain * growth ** (iteration - pretrain_iters)
+        return int(min(n, ns_max))
+
+    return schedule
+
+
+@dataclass
+class VMCConfig:
+    n_samples: int | Callable[[int], int] = 10**5
+    eloc_mode: str = "exact"          # 'exact' | 'sample_aware'
+    lr_scale: float = 1.0             # rescales the Eq. 13 schedule
+    warmup: int = 4000
+    weight_decay: float = 0.01
+    grad_clip: float | None = 1.0     # max-norm clip (stabilizes small batches)
+    seed: int = 0
+
+
+@dataclass
+class VMCStats:
+    iteration: int
+    energy: float
+    variance: float
+    n_unique: int
+    n_samples: int
+    lr: float
+    eloc_imag: float  # residual imaginary part of the energy (sanity signal)
+
+
+class VMC:
+    """Serial VMC optimizer; the parallel version lives in repro.parallel."""
+
+    def __init__(self, wf: NNQSWavefunction,
+                 hamiltonian: QubitHamiltonian | CompressedHamiltonian,
+                 config: VMCConfig | None = None):
+        self.wf = wf
+        self.comp = (
+            hamiltonian
+            if isinstance(hamiltonian, CompressedHamiltonian)
+            else compress_hamiltonian(hamiltonian)
+        )
+        self.config = config or VMCConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.optimizer = AdamW(
+            wf, lr=0.0, weight_decay=self.config.weight_decay
+        )
+        d_model = getattr(wf.amplitude, "d_model", 16)
+        self.schedule = NoamSchedule(
+            self.optimizer, d_model=d_model, warmup=self.config.warmup,
+            scale=self.config.lr_scale,
+        )
+        self.iteration = 0
+        self.history: list[VMCStats] = []
+
+    # ------------------------------------------------------------ internals
+    def _n_samples(self) -> int:
+        ns = self.config.n_samples
+        return ns(self.iteration) if callable(ns) else ns
+
+    def sample(self) -> SampleBatch:
+        return batch_autoregressive_sample(self.wf, self._n_samples(), self.rng)
+
+    def gradient_step(self, batch: SampleBatch, eloc: np.ndarray) -> None:
+        """Backpropagate Eq. 7 and update parameters."""
+        w = batch.weights / batch.weights.sum()
+        e_mean = np.sum(w * eloc)
+        centered = eloc - e_mean
+        coeff_amp = w * centered.real
+        coeff_phase = 2.0 * w * centered.imag
+        self.optimizer.zero_grad()
+        logp = self.wf.log_prob(batch.bits)
+        phi = self.wf.phase_of(batch.bits)
+        loss = (Tensor(coeff_amp) * logp).sum() + (Tensor(coeff_phase) * phi).sum()
+        loss.backward()
+        if self.config.grad_clip is not None:
+            g = self.wf.get_flat_grads()
+            norm = np.linalg.norm(g)
+            if norm > self.config.grad_clip:
+                self.wf.set_flat_grads(g * (self.config.grad_clip / norm))
+        self.schedule.step()
+        self.optimizer.step()
+
+    # ------------------------------------------------------------ main loop
+    def step(self) -> VMCStats:
+        batch = self.sample()
+        eloc, _ = local_energy(
+            self.wf, self.comp, batch, mode=self.config.eloc_mode
+        )
+        w = batch.weights / batch.weights.sum()
+        energy = float(np.sum(w * eloc.real))
+        variance = float(np.sum(w * (eloc.real - energy) ** 2))
+        self.gradient_step(batch, eloc)
+        self.iteration += 1
+        stats = VMCStats(
+            iteration=self.iteration,
+            energy=energy,
+            variance=variance,
+            n_unique=batch.n_unique,
+            n_samples=batch.n_samples,
+            lr=self.optimizer.lr,
+            eloc_imag=float(np.abs(np.sum(w * eloc.imag))),
+        )
+        self.history.append(stats)
+        return stats
+
+    def run(self, n_iterations: int, log_every: int = 0,
+            callback: Callable[[VMCStats], None] | None = None) -> list[VMCStats]:
+        for _ in range(n_iterations):
+            stats = self.step()
+            if callback is not None:
+                callback(stats)
+            if log_every and stats.iteration % log_every == 0:
+                print(
+                    f"iter {stats.iteration:5d}  E = {stats.energy:+.6f} Ha  "
+                    f"var = {stats.variance:.2e}  N_u = {stats.n_unique}"
+                )
+        return self.history
+
+    def best_energy(self, window: int = 20) -> float:
+        """Variance-weighted energy over the trailing window (final estimate)."""
+        tail = self.history[-window:]
+        if not tail:
+            raise RuntimeError("no VMC iterations have run")
+        es = np.array([s.energy for s in tail])
+        vs = np.array([max(s.variance, 1e-12) for s in tail])
+        wts = 1.0 / vs
+        return float(np.sum(wts * es) / np.sum(wts))

@@ -1,0 +1,190 @@
+"""QiankunNet: the transformer-based neural network quantum state (Fig. 2).
+
+The wave function is decomposed as Psi(x) = |Psi(x)| e^{i phi(x)} (Eq. 11):
+the squared amplitude |Psi(x)|^2 = pi(x) is an autoregressive distribution
+modeled by a decoder-only transformer over 2-qubit tokens, and the phase
+phi(x) is a separate MLP.  Any amplitude network exposing
+``conditional_logits`` can be substituted (MADE, NAQS-MLP — Table 1
+baselines / ansatz ablation).
+
+Token layout: spatial orbital ``i`` = qubits ``(2i, 2i+1)``; the sampling
+order follows Ref. [27] (reverse order of the qubits after Jordan-Wigner), so
+token position ``p`` addresses orbital ``order[p]`` with ``order`` reversed by
+default.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.core.constraints import ParticleNumberConstraint
+from repro.nn import MADEAmplitude, Module, NAQSMLPAmplitude, PhaseMLP, TransformerAmplitude
+
+__all__ = ["NNQSWavefunction", "build_qiankunnet"]
+
+_MASK_VALUE = -1e30
+
+
+class NNQSWavefunction(Module):
+    """Amplitude network + phase network + particle-number constraint."""
+
+    def __init__(self, n_qubits: int, amplitude: Module, phase: Module,
+                 constraint: ParticleNumberConstraint | None,
+                 token_bits: int = 2, reverse_order: bool = True):
+        super().__init__()
+        if n_qubits % token_bits:
+            raise ValueError("n_qubits must be divisible by token_bits")
+        self.n_qubits = n_qubits
+        self.token_bits = token_bits
+        self.vocab_size = 2**token_bits
+        self.n_tokens = n_qubits // token_bits
+        self.amplitude = amplitude
+        self.phase = phase
+        self.constraint = constraint
+        order = np.arange(self.n_tokens)
+        self.order = order[::-1].copy() if reverse_order else order
+
+    # -------------------------------------------------------- token mapping
+    def bits_to_tokens(self, bits: np.ndarray) -> np.ndarray:
+        """(B, N) 0/1 -> (B, T) tokens in sampling order."""
+        bits = np.atleast_2d(np.asarray(bits, dtype=np.int64))
+        if self.token_bits == 2:
+            toks = bits[:, 0::2] + 2 * bits[:, 1::2]  # orbital-indexed
+        else:
+            toks = bits
+        return toks[:, self.order]
+
+    def tokens_to_bits(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
+        inv = np.empty_like(self.order)
+        inv[self.order] = np.arange(self.n_tokens)
+        toks = tokens[:, inv]
+        b = tokens.shape[0]
+        bits = np.zeros((b, self.n_qubits), dtype=np.uint8)
+        if self.token_bits == 2:
+            bits[:, 0::2] = toks & 1
+            bits[:, 1::2] = toks >> 1
+        else:
+            bits[:] = toks
+        return bits
+
+    # --------------------------------------------------- masked conditionals
+    def masked_log_conditionals(self, tokens: np.ndarray) -> Tensor:
+        """(B, T, vocab) log of the constrained, renormalized conditionals."""
+        logits = self.amplitude.conditional_logits(tokens)
+        if self.constraint is not None:
+            allowed = self.constraint.mask_sequence(tokens)
+            logits = logits.masked_fill(~allowed, _MASK_VALUE)
+        return logits.log_softmax(axis=-1)
+
+    def log_prob(self, bits: np.ndarray) -> Tensor:
+        """(B,) log pi(x) = log |Psi(x)|^2, differentiable."""
+        tokens = self.bits_to_tokens(bits)
+        logc = self.masked_log_conditionals(tokens)
+        b, t = tokens.shape
+        picked = logc[np.arange(b)[:, None], np.arange(t)[None, :], tokens]
+        return picked.sum(axis=1)
+
+    def phase_of(self, bits: np.ndarray) -> Tensor:
+        """(B,) phase phi(x) in radians, differentiable."""
+        return self.phase(np.atleast_2d(bits))
+
+    # ------------------------------------------------------------ inference
+    def amplitudes(self, bits: np.ndarray) -> np.ndarray:
+        """(B,) complex Psi(x) = sqrt(pi(x)) exp(i phi(x)) — inference only."""
+        with no_grad():
+            logp = self.log_prob(bits).data
+            phi = self.phase_of(bits).data
+        return np.exp(0.5 * logp + 1j * phi)
+
+    def log_amplitudes(self, bits: np.ndarray) -> np.ndarray:
+        """(B,) complex log Psi(x) (avoids underflow for tiny amplitudes)."""
+        with no_grad():
+            logp = self.log_prob(bits).data
+            phi = self.phase_of(bits).data
+        return 0.5 * logp + 1j * phi
+
+    def conditional_probs(self, prefix_tokens: np.ndarray,
+                          counts_up: np.ndarray, counts_dn: np.ndarray) -> np.ndarray:
+        """(B, vocab) masked, renormalized pi(x_k | prefix) — sampler hot path.
+
+        ``prefix_tokens``: (B, k) observed tokens; counts are the electrons
+        already placed (computed incrementally by the sampler to avoid
+        rescanning prefixes).
+        """
+        b, k = prefix_tokens.shape
+        # MADE / NAQS-MLP have fixed input width; the transformer accepts any
+        # prefix length (cheaper: O(k^2) instead of O(T^2) per step).
+        length = self.n_tokens if getattr(self.amplitude, "fixed_length", False) else k + 1
+        padded = np.zeros((b, length), dtype=np.int64)
+        padded[:, :k] = prefix_tokens
+        with no_grad():
+            logits = self.amplitude.conditional_logits(padded).data[:, k, :]
+        if self.constraint is not None:
+            allowed = self.constraint.mask_for_step(counts_up, counts_dn, k)
+            logits = np.where(allowed, logits, _MASK_VALUE)
+        logits = logits - logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def sector_counts(self, tokens_prefix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(up, dn) electron counts contained in a token prefix."""
+        if self.token_bits == 2:
+            up = (tokens_prefix & 1).sum(axis=1)
+            dn = (tokens_prefix >> 1).sum(axis=1)
+        else:
+            # Position p addresses qubit order[p]; even qubits are spin-up.
+            spin = self.order[: tokens_prefix.shape[1]] % 2
+            up = (tokens_prefix * (spin[None, :] == 0)).sum(axis=1)
+            dn = (tokens_prefix * (spin[None, :] == 1)).sum(axis=1)
+        return up, dn
+
+
+def build_qiankunnet(
+    n_qubits: int,
+    n_up: int,
+    n_dn: int,
+    d_model: int = 16,
+    n_heads: int = 4,
+    n_layers: int = 2,
+    phase_hidden: tuple[int, ...] = (512, 512),
+    amplitude_type: str = "transformer",
+    token_bits: int = 2,
+    constrain: bool = True,
+    reverse_order: bool = True,
+    seed: int = 0,
+) -> NNQSWavefunction:
+    """Factory with the paper's Sec. 4.1 defaults.
+
+    ``amplitude_type``: 'transformer' (QiankunNet), 'made' (Ref. [27]
+    baseline) or 'naqs-mlp' (Ref. [26]-style baseline).
+    """
+    rng = np.random.default_rng(seed)
+    n_tokens = n_qubits // token_bits
+    vocab = 2**token_bits
+    if amplitude_type == "transformer":
+        amp = TransformerAmplitude(
+            n_tokens, vocab, d_model=d_model, n_heads=n_heads, n_layers=n_layers, rng=rng
+        )
+    elif amplitude_type == "made":
+        amp = MADEAmplitude(n_tokens, vocab, rng=rng)
+    elif amplitude_type == "naqs-mlp":
+        amp = NAQSMLPAmplitude(n_tokens, vocab, rng=rng)
+    else:
+        raise ValueError(f"unknown amplitude_type {amplitude_type!r}")
+    phase = PhaseMLP(n_qubits, hidden=phase_hidden, rng=rng)
+    constraint = None
+    if constrain:
+        pos_spin = None
+        if token_bits == 1:
+            order = np.arange(n_tokens)
+            if reverse_order:
+                order = order[::-1]
+            pos_spin = order % 2  # position p addresses qubit order[p]
+        constraint = ParticleNumberConstraint(
+            n_tokens, n_up, n_dn, vocab_size=vocab, pos_spin=pos_spin
+        )
+    return NNQSWavefunction(
+        n_qubits, amp, phase, constraint, token_bits=token_bits,
+        reverse_order=reverse_order,
+    )

@@ -1,0 +1,146 @@
+"""Hamiltonian storage schemes of Fig. 6 and the Algorithm-1 preprocessing.
+
+Three representations, with byte-level memory accounting used by the Fig. 9
+benchmark:
+
+* Fig. 6(a) — symbolic list of Pauli strings (``QubitHamiltonian.term_strings``).
+* Fig. 6(b) — the Ref. [27] scheme (:class:`ReferenceHamiltonianData`): per
+  term, a boolean "Pauli mat XY" tuple (X or Y occurrence, the flip mask), a
+  boolean "Pauli mat YZ" tuple (Y or Z occurrence, the sign mask), and an
+  integer Y-occurrence count used for the phase.
+* Fig. 6(c) — the paper's compressed scheme (:class:`CompressedHamiltonian`):
+  only the *unique* XY masks are kept, the YZ masks are reorganized into a
+  contiguous buffer grouped by XY mask with a CSR-style ``idxs`` offset array,
+  and the Y-phase ``real((-i)^{Y_occ})`` is folded into the coefficient
+  in-place (Algorithm 1, line 13).
+
+Because every Pauli string sharing an XY mask couples an input configuration
+``x`` to the *same* output ``x' = x XOR mask``, the compressed layout lets the
+local-energy kernel evaluate each unique coupled configuration exactly once
+(Fig. 7(b)) — that is what the SA/FUSE/LUT kernels in
+``repro.core.local_energy`` consume.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+from repro.utils.bitstrings import lexsort_keys, popcount64
+
+__all__ = [
+    "ReferenceHamiltonianData",
+    "CompressedHamiltonian",
+    "build_reference",
+    "compress_hamiltonian",
+]
+
+
+@dataclass
+class ReferenceHamiltonianData:
+    """Fig. 6(b): one (XY, YZ, Y-count, coeff) record per Pauli string."""
+
+    n_qubits: int
+    xy: np.ndarray        # (K, W) uint64
+    yz: np.ndarray        # (K, W) uint64
+    y_occ: np.ndarray     # (K,) int64
+    coeffs: np.ndarray    # (K,) float64
+    constant: float
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.coeffs)
+
+    def memory_bytes(self) -> int:
+        """Booleans stored 1 byte/qubit (two tuples) + int + float per term."""
+        per_term = 2 * self.n_qubits + 8 + 8
+        return self.n_terms * per_term
+
+
+@dataclass
+class CompressedHamiltonian:
+    """Fig. 6(c) / Algorithm 1 output.
+
+    ``idxs[g] : idxs[g+1]`` delimits the YZ records of unique XY mask ``g``
+    in the contiguous ``yz_buf`` / ``coeffs_buf`` buffers.
+    """
+
+    n_qubits: int
+    xy_unique: np.ndarray   # (G, W) uint64 — compressed Pauli mat XY
+    idxs: np.ndarray        # (G + 1,) int64 — CSR offsets into the buffers
+    yz_buf: np.ndarray      # (K, W) uint64 — reorganized Pauli mat YZ
+    coeffs_buf: np.ndarray  # (K,) float64 — phase-folded coefficients
+    constant: float
+    n_electrons: int | None = None
+
+    @property
+    def n_groups(self) -> int:
+        """N_h^opt: number of unique XY masks."""
+        return len(self.xy_unique)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.coeffs_buf)
+
+    def memory_bytes(self) -> int:
+        """Unique XY tuples + offsets + YZ tuples + coefficients."""
+        return (
+            self.n_groups * self.n_qubits          # compressed Pauli mat XY
+            + (self.n_groups + 1) * 8              # idxs
+            + self.n_terms * self.n_qubits         # Pauli mat YZ
+            + self.n_terms * 8                     # new coefficients
+        )
+
+    def group_sizes(self) -> np.ndarray:
+        return np.diff(self.idxs)
+
+
+def build_reference(h: QubitHamiltonian) -> ReferenceHamiltonianData:
+    """Fig. 6(b): the Ref. [27] layout, straight from the term list."""
+    return ReferenceHamiltonianData(
+        n_qubits=h.n_qubits,
+        xy=h.x_masks.copy(),
+        yz=h.z_masks.copy(),
+        y_occ=h.y_counts(),
+        coeffs=h.coeffs.copy(),
+        constant=h.constant,
+    )
+
+
+def compress_hamiltonian(h: QubitHamiltonian) -> CompressedHamiltonian:
+    """Algorithm 1: group by XY mask, fold the Y phase into the coefficients.
+
+    For molecular (real) Hamiltonians every Pauli string carries an even
+    number of Y letters, so ``real((-i)^{Y_occ}) = (-1)^{Y_occ / 2}`` is +-1;
+    an odd count would make the term's matrix elements imaginary and is
+    rejected.
+    """
+    y_occ = h.y_counts()
+    if np.any(y_occ % 2):
+        raise ValueError("odd Y-count term: Hamiltonian not real — cannot fold phase")
+    folded = h.coeffs * np.where(y_occ % 4 == 0, 1.0, -1.0)  # (-1)^{y/2}
+
+    order = lexsort_keys(h.x_masks)
+    xy_sorted = h.x_masks[order]
+    yz_sorted = h.z_masks[order]
+    coeff_sorted = folded[order]
+
+    # Find group boundaries among the sorted XY masks.
+    if len(xy_sorted) == 0:
+        new_group = np.zeros(0, dtype=bool)
+    else:
+        new_group = np.ones(len(xy_sorted), dtype=bool)
+        new_group[1:] = np.any(xy_sorted[1:] != xy_sorted[:-1], axis=1)
+    starts = np.flatnonzero(new_group)
+    idxs = np.concatenate([starts, [len(xy_sorted)]]).astype(np.int64)
+
+    return CompressedHamiltonian(
+        n_qubits=h.n_qubits,
+        xy_unique=xy_sorted[starts],
+        idxs=idxs,
+        yz_buf=yz_sorted,
+        coeffs_buf=coeff_sorted,
+        constant=h.constant,
+        n_electrons=h.n_electrons,
+    )

@@ -1,0 +1,134 @@
+"""Jordan-Wigner transformation of the second-quantized Hamiltonian (Eq. 9/10).
+
+Ladder operators in the symplectic representation:
+
+    a_p      = Z_{<p} X_p (I - Z_p)/2  =  1/2 (Z_{<p} X_p  -  Z_{<p} X_p Z_p)
+    a_p^dag  = Z_{<p} X_p (I + Z_p)/2  =  1/2 (Z_{<p} X_p  +  Z_{<p} X_p Z_p)
+
+(occupation bit 1 = occupied, Z|b> = (-1)^b |b>).  Products of 2 and 4 ladder
+operators are expanded term-by-term with the symplectic multiplication rule
+and accumulated in a dictionary keyed by (x_mask, z_mask); imaginary residues
+cancel to < 1e-12 for Hermitian inputs and are dropped.
+
+Spin-orbital ordering is the paper's: spatial orbital i -> qubits (2i, 2i+1).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.mo_integrals import SpinOrbitalIntegrals
+from repro.hamiltonian.pauli import pauli_mul
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+
+__all__ = ["jordan_wigner", "jordan_wigner_fermion_terms", "ladder_terms"]
+
+
+def ladder_terms(p: int, dagger: bool) -> list[tuple[int, int, complex]]:
+    """[(x, z, coeff), ...] for a_p or a_p^dagger under Jordan-Wigner."""
+    z_string = (1 << p) - 1  # Z on qubits 0..p-1
+    x = 1 << p
+    sign = 0.5 if dagger else -0.5
+    return [
+        (x, z_string, 0.5),
+        (x, z_string | (1 << p), sign),
+    ]
+
+
+def _accumulate_product(acc: dict, ops: list[list[tuple[int, int, complex]]],
+                        weight: complex) -> None:
+    """Expand a product of ladder operators into ``acc`` (dict keyed (x,z))."""
+    # Iterative expansion: list of (x, z, coeff) partial products.
+    partial = [(0, 0, weight)]
+    for op in ops:
+        new = []
+        for x1, z1, c1 in partial:
+            for x2, z2, c2 in op:
+                x, z, s = pauli_mul(x1, z1, x2, z2)
+                new.append((x, z, c1 * c2 * s))
+        partial = new
+    for x, z, c in partial:
+        key = (x, z)
+        acc[key] = acc.get(key, 0.0) + c
+
+
+def _finalize(acc: dict, n: int, constant: float, coeff_tol: float,
+              n_electrons: int | None) -> QubitHamiltonian:
+    """Dict keyed (x, z) with xz-basis coefficients -> QubitHamiltonian."""
+    xs, zs, cs = [], [], []
+    n_words = (n + 63) // 64
+    mask64 = (1 << 64) - 1
+    for (x, z), c in acc.items():
+        if abs(c) < coeff_tol:
+            continue
+        if x == 0 and z == 0:
+            constant += float(np.real(c))
+            continue
+        n_y = bin(x & z).count("1")
+        letter_c = c / (1j) ** n_y
+        if abs(np.imag(letter_c)) > 1e-9:
+            raise ValueError("non-Hermitian residue in Jordan-Wigner output")
+        xs.append([(x >> (64 * w)) & mask64 for w in range(n_words)])
+        zs.append([(z >> (64 * w)) & mask64 for w in range(n_words)])
+        cs.append(float(np.real(letter_c)))
+    return QubitHamiltonian(
+        n_qubits=n,
+        x_masks=np.array(xs, dtype=np.uint64).reshape(len(cs), n_words),
+        z_masks=np.array(zs, dtype=np.uint64).reshape(len(cs), n_words),
+        coeffs=np.array(cs),
+        constant=float(constant),
+        n_electrons=n_electrons,
+    )
+
+
+def jordan_wigner_fermion_terms(
+    terms: list[tuple[complex, list[tuple[int, bool]]]],
+    n_qubits: int,
+    constant: float = 0.0,
+    coeff_tol: float = 1e-10,
+    n_electrons: int | None = None,
+) -> QubitHamiltonian:
+    """Jordan-Wigner any Hermitian sum of ladder-operator products.
+
+    ``terms`` is ``[(weight, [(orbital, dagger), ...]), ...]`` where the
+    ladder operators of one product are listed left to right.  This is the
+    generic entry point used for observables (number, S_z, S^2, dipole
+    operators) beyond the molecular Hamiltonian itself.
+    """
+    acc: dict[tuple[int, int], complex] = {}
+    for weight, ops in terms:
+        if abs(weight) < coeff_tol:
+            continue
+        expanded = [ladder_terms(p, dagger=d) for (p, d) in ops]
+        _accumulate_product(acc, expanded, weight)
+    return _finalize(acc, n_qubits, constant, coeff_tol, n_electrons)
+
+
+def jordan_wigner(so: SpinOrbitalIntegrals, coeff_tol: float = 1e-10) -> QubitHamiltonian:
+    """Map spin-orbital integrals to a qubit Hamiltonian.
+
+    H = sum_PQ h_PQ a+_P a_Q + 1/2 sum_PQRS <PQ|RS> a+_P a+_Q a_S a_R + E_nuc.
+    """
+    n = so.n_so
+    acc: dict[tuple[int, int], complex] = {}
+
+    ann = [ladder_terms(p, dagger=False) for p in range(n)]
+    cre = [ladder_terms(p, dagger=True) for p in range(n)]
+
+    # One-body part.
+    h1 = so.h1
+    for p, q in zip(*np.nonzero(np.abs(h1) > coeff_tol)):
+        _accumulate_product(acc, [cre[p], ann[q]], h1[p, q])
+
+    # Two-body part: iterate only over non-negligible <PQ|RS>.
+    g2 = so.g2
+    idx = np.argwhere(np.abs(g2) > coeff_tol)
+    for p, q, s, r in idx:  # g2[p, q, s, r] multiplies a+_p a+_q a_r a_s
+        # <PQ|SR> convention: g2[P,Q,R,S] = <PQ|RS> multiplies a+P a+Q a_S a_R.
+        if p == q or s == r:
+            continue  # a+_p a+_p = a_r a_r = 0
+        _accumulate_product(
+            acc, [cre[p], cre[q], ann[r], ann[s]], 0.5 * g2[p, q, s, r]
+        )
+
+    # Separate the identity; convert xz coefficients to letter-basis reals.
+    return _finalize(acc, n, so.e_nuc, coeff_tol, so.n_electrons)

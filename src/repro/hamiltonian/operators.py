@@ -1,0 +1,139 @@
+"""Qubit operators for physical observables beyond the energy.
+
+All operators act on the interleaved spin-orbital layout of the paper
+(spatial orbital ``i`` -> qubits ``2i`` (alpha) and ``2i + 1`` (beta)) and are
+returned as :class:`~repro.hamiltonian.qubit_hamiltonian.QubitHamiltonian`
+instances, so every expectation value can be estimated with exactly the same
+local-estimator machinery (Eq. 4 with H replaced by O) and, on small systems,
+checked against the sector-exact value.
+
+Provided operators:
+
+* ``number_operator``        — total electron number N = sum_P n_P
+* ``number_up/dn_operator``  — per-spin electron counts
+* ``sz_operator``            — S_z = (N_up - N_dn) / 2
+* ``s2_operator``            — total spin S^2 = S_- S_+ + S_z (S_z + 1)
+* ``occupation_operator``    — n_P of a single spin orbital
+* ``double_occupancy_operator`` — sum_i n_{i,up} n_{i,dn}
+* ``one_body_operator``      — generic sum_PQ o_PQ a+_P a_Q (e.g. dipole)
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonian.jordan_wigner import jordan_wigner_fermion_terms
+from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
+
+__all__ = [
+    "number_operator",
+    "number_up_operator",
+    "number_dn_operator",
+    "sz_operator",
+    "s2_operator",
+    "occupation_operator",
+    "double_occupancy_operator",
+    "one_body_operator",
+]
+
+
+def occupation_operator(p: int, n_qubits: int) -> QubitHamiltonian:
+    """n_P = a+_P a_P for one spin orbital (qubit) ``p``."""
+    return jordan_wigner_fermion_terms(
+        [(1.0, [(p, True), (p, False)])], n_qubits
+    )
+
+
+def _number(orbitals: list[int], n_qubits: int) -> QubitHamiltonian:
+    terms = [(1.0, [(p, True), (p, False)]) for p in orbitals]
+    return jordan_wigner_fermion_terms(terms, n_qubits)
+
+
+def number_operator(n_qubits: int) -> QubitHamiltonian:
+    """Total electron number operator N."""
+    return _number(list(range(n_qubits)), n_qubits)
+
+
+def number_up_operator(n_qubits: int) -> QubitHamiltonian:
+    """N_up: number of spin-up electrons (even qubits)."""
+    return _number(list(range(0, n_qubits, 2)), n_qubits)
+
+
+def number_dn_operator(n_qubits: int) -> QubitHamiltonian:
+    """N_dn: number of spin-down electrons (odd qubits)."""
+    return _number(list(range(1, n_qubits, 2)), n_qubits)
+
+
+def sz_operator(n_qubits: int) -> QubitHamiltonian:
+    """S_z = (N_up - N_dn) / 2 in units of hbar."""
+    terms = [(+0.5, [(p, True), (p, False)]) for p in range(0, n_qubits, 2)]
+    terms += [(-0.5, [(p, True), (p, False)]) for p in range(1, n_qubits, 2)]
+    return jordan_wigner_fermion_terms(terms, n_qubits)
+
+
+def s2_operator(n_qubits: int) -> QubitHamiltonian:
+    """Total spin S^2 = S_- S_+ + S_z (S_z + 1).
+
+    With S_+ = sum_i a+_{i,up} a_{i,dn}:
+
+        S_- S_+ = sum_{ij} a+_{i,dn} a_{i,up} a+_{j,up} a_{j,dn}
+
+    and S_z^2 expands into two-body number products.  Eigenvalues are
+    S (S + 1): 0 for singlets, 2 for triplets, etc.
+    """
+    if n_qubits % 2:
+        raise ValueError("spin operators need an even number of qubits")
+    n_orb = n_qubits // 2
+    up = [2 * i for i in range(n_orb)]
+    dn = [2 * i + 1 for i in range(n_orb)]
+    terms: list[tuple[complex, list[tuple[int, bool]]]] = []
+    # S_- S_+
+    for i in range(n_orb):
+        for j in range(n_orb):
+            terms.append(
+                (1.0, [(dn[i], True), (up[i], False), (up[j], True), (dn[j], False)])
+            )
+    # S_z^2 = 1/4 sum_{ij} (n_iu - n_id)(n_ju - n_jd)
+    for i in range(n_orb):
+        for j in range(n_orb):
+            for (p, sp) in ((up[i], +1), (dn[i], -1)):
+                for (q, sq) in ((up[j], +1), (dn[j], -1)):
+                    terms.append(
+                        (0.25 * sp * sq,
+                         [(p, True), (p, False), (q, True), (q, False)])
+                    )
+    # + S_z
+    for p in up:
+        terms.append((+0.5, [(p, True), (p, False)]))
+    for p in dn:
+        terms.append((-0.5, [(p, True), (p, False)]))
+    return jordan_wigner_fermion_terms(terms, n_qubits)
+
+
+def double_occupancy_operator(n_qubits: int) -> QubitHamiltonian:
+    """sum_i n_{i,up} n_{i,dn} — number of doubly occupied spatial orbitals."""
+    if n_qubits % 2:
+        raise ValueError("double occupancy needs an even number of qubits")
+    terms = []
+    for i in range(n_qubits // 2):
+        u, d = 2 * i, 2 * i + 1
+        terms.append((1.0, [(u, True), (u, False), (d, True), (d, False)]))
+    return jordan_wigner_fermion_terms(terms, n_qubits)
+
+
+def one_body_operator(o: np.ndarray, constant: float = 0.0) -> QubitHamiltonian:
+    """Generic one-body operator sum_PQ o[P, Q] a+_P a_Q (+ constant).
+
+    ``o`` must be a Hermitian ``(n_so, n_so)`` matrix in the *spin-orbital*
+    basis (use :func:`repro.chem.mo_integrals.to_spin_orbitals`-style
+    interleaving).  Typical use: dipole-moment components, density operators.
+    """
+    o = np.asarray(o)
+    if o.ndim != 2 or o.shape[0] != o.shape[1]:
+        raise ValueError("one-body operator must be a square matrix")
+    if not np.allclose(o, o.conj().T, atol=1e-10):
+        raise ValueError("one-body operator must be Hermitian")
+    n = o.shape[0]
+    terms = []
+    for p, q in zip(*np.nonzero(np.abs(o) > 1e-12)):
+        terms.append((o[p, q], [(int(p), True), (int(q), False)]))
+    return jordan_wigner_fermion_terms(terms, n, constant=constant)

@@ -1,0 +1,131 @@
+"""Symplectic Pauli-operator algebra over integer bit masks.
+
+A Pauli string on N qubits is stored as a pair of Python integers
+``(x_mask, z_mask)`` representing the operator ``X^x Z^z`` (site-wise
+``X^{x_j} Z^{z_j}``) with a complex coefficient.  The Pauli letters are
+recovered via ``Y = i X Z``:
+
+    letters(x, z): X where x&~z, Z where z&~x, Y where x&z  (phase i^{n_Y})
+
+Products are computed with the symplectic rule
+``X^a Z^b · X^c Z^d = (-1)^{|b & c|} X^{a^c} Z^{b^d}``, which is all that is
+needed to assemble molecular Hamiltonians under the Jordan-Wigner mapping.
+
+Matrix elements in the computational basis (bit j of ``x`` = occupation of
+qubit j, Z|b> = (-1)^b |b>):
+
+    <x'| c * X^a Z^b |x> = c * (-1)^{|b & x|} * delta_{x', x XOR a}
+
+so a term's *letter-basis* coefficient and Y-count determine the real
+"new coefficient" used by the paper's compressed data structure
+(Algorithm 1, line 13): c_letters * real((-i)^{n_Y}).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PauliTerm",
+    "pauli_mul",
+    "letters_to_xz",
+    "xz_to_letters",
+    "term_matrix",
+    "strings_to_matrix",
+]
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A single Pauli string ``coeff * X^x Z^z`` on ``n`` qubits."""
+
+    x: int
+    z: int
+    coeff: complex
+    n: int
+
+    @property
+    def n_y(self) -> int:
+        return bin(self.x & self.z).count("1")
+
+    def letter_coeff(self) -> complex:
+        """Coefficient in the Pauli-letter basis (I/X/Y/Z products)."""
+        # X^x Z^z = (-i)^{n_Y} * letters  =>  letters coeff = coeff * i^{-n_Y}?
+        # From letters = i^{n_Y} X^x Z^z:  coeff_letters * letters =
+        # coeff_letters * i^{n_Y} X^x Z^z, so coeff_xz = coeff_letters * i^{n_Y}.
+        return self.coeff / (1j) ** self.n_y
+
+    def letters(self) -> str:
+        return xz_to_letters(self.x, self.z, self.n)
+
+
+def pauli_mul(x1: int, z1: int, x2: int, z2: int) -> tuple[int, int, int]:
+    """(X^x1 Z^z1)(X^x2 Z^z2) = sign * X^{x1^x2} Z^{z1^z2}; returns (x, z, sign)."""
+    sign = -1 if bin(z1 & x2).count("1") % 2 else 1
+    return x1 ^ x2, z1 ^ z2, sign
+
+
+def letters_to_xz(pauli: str) -> tuple[int, int, complex]:
+    """'XIYZ' (qubit 0 first) -> (x_mask, z_mask, phase) with phase = i^{n_Y}."""
+    x = z = 0
+    n_y = 0
+    for j, ch in enumerate(pauli):
+        if ch == "X":
+            x |= 1 << j
+        elif ch == "Y":
+            x |= 1 << j
+            z |= 1 << j
+            n_y += 1
+        elif ch == "Z":
+            z |= 1 << j
+        elif ch != "I":
+            raise ValueError(f"invalid Pauli letter {ch!r}")
+    return x, z, (1j) ** n_y
+
+
+def xz_to_letters(x: int, z: int, n: int) -> str:
+    out = []
+    for j in range(n):
+        xb, zb = (x >> j) & 1, (z >> j) & 1
+        out.append("IXZY"[xb + 2 * zb] if (xb + 2 * zb) != 3 else "Y")
+    return "".join(out)
+
+
+# ----------------------------------------------------------- dense matrices
+_X = np.array([[0.0, 1.0], [1.0, 0.0]])
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]])
+_I = np.eye(2)
+
+
+def term_matrix(x: int, z: int, n: int) -> np.ndarray:
+    """Dense matrix of X^x Z^z on n qubits (qubit 0 = least significant bit).
+
+    Basis index of configuration c is the integer c itself, i.e. qubit j
+    contributes bit j.  Used only in tests / tiny exact diagonalization.
+    """
+    mat = np.array([[1.0]])
+    for j in range(n):
+        op = _I
+        xb, zb = (x >> j) & 1, (z >> j) & 1
+        if xb and zb:
+            op = _X @ _Z
+        elif xb:
+            op = _X
+        elif zb:
+            op = _Z
+        # qubit j is the *low* bit: index = sum_j b_j 2^j -> kron(op_j later)
+        mat = np.kron(op, mat)
+    return mat
+
+
+def strings_to_matrix(terms: list[PauliTerm]) -> np.ndarray:
+    """Dense Hamiltonian from a term list (test helper; exponential cost)."""
+    if not terms:
+        return np.zeros((1, 1))
+    n = terms[0].n
+    dim = 2**n
+    H = np.zeros((dim, dim), dtype=np.complex128)
+    for t in terms:
+        H += t.coeff * term_matrix(t.x, t.z, n)
+    return H

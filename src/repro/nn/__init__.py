@@ -1,0 +1,25 @@
+"""Neural-network building blocks (the torch.nn substitute)."""
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
+from repro.nn.attention import CausalSelfAttention, DecoderLayer, FeedForward
+from repro.nn.transformer import TransformerAmplitude
+from repro.nn.phase import PhaseMLP
+from repro.nn.made import MADEAmplitude, NAQSMLPAmplitude
+from repro.nn.rbm import RBMWavefunction
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "PositionalEmbedding",
+    "CausalSelfAttention",
+    "DecoderLayer",
+    "FeedForward",
+    "TransformerAmplitude",
+    "PhaseMLP",
+    "MADEAmplitude",
+    "NAQSMLPAmplitude",
+    "RBMWavefunction",
+]

@@ -1,0 +1,77 @@
+"""Masked multi-head self-attention and the transformer decoder block (Fig. 2).
+
+The paper's amplitude sub-network is a stack of GPT-style *decoders*: masked
+multi-head self-attention followed by a position-wise feed-forward layer, each
+wrapped in residual connections with layer normalization.  The causal mask is
+what makes the network autoregressive — the conditional for token i only sees
+tokens < i — which in turn is what enables batch autoregressive sampling.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module
+
+__all__ = ["CausalSelfAttention", "FeedForward", "DecoderLayer"]
+
+
+class CausalSelfAttention(Module):
+    """Multi-head self-attention with a causal (lower-triangular) mask."""
+
+    def __init__(self, d_model: int, n_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.qkv = Linear(d_model, 3 * d_model, rng=rng)
+        self.proj = Linear(d_model, d_model, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x: (batch, seq, d_model) -> (batch, seq, d_model)."""
+        b, t, d = x.shape
+        h, dh = self.n_heads, self.d_head
+        qkv = self.qkv(x)  # (b, t, 3d)
+        qkv = qkv.reshape(b, t, 3, h, dh).transpose(2, 0, 3, 1, 4)  # (3, b, h, t, dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        att = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(dh))  # (b, h, t, t)
+        causal = np.triu(np.ones((t, t), dtype=bool), k=1)
+        att = att.masked_fill(causal, -1e30)
+        att = att.softmax(axis=-1)
+        out = att @ v  # (b, h, t, dh)
+        out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.proj(out)
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (d_model -> 4 d_model -> d_model)."""
+
+    def __init__(self, d_model: int, d_ff: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        d_ff = d_ff or 4 * d_model
+        self.fc1 = Linear(d_model, d_ff, rng=rng)
+        self.fc2 = Linear(d_ff, d_model, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).gelu())
+
+
+class DecoderLayer(Module):
+    """Pre-norm transformer decoder block: x + MHA(LN(x)), then x + FF(LN(x))."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.ln1 = LayerNorm(d_model)
+        self.attn = CausalSelfAttention(d_model, n_heads, rng=rng)
+        self.ln2 = LayerNorm(d_model)
+        self.ff = FeedForward(d_model, d_ff, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.ff(self.ln2(x))
+        return x

@@ -1,0 +1,125 @@
+"""Baseline amplitude networks: MADE (Ref. [27]) and NAQS-style MLP (Ref. [26]).
+
+Both expose the same ``conditional_logits`` interface as
+:class:`repro.nn.transformer.TransformerAmplitude`, so they can be dropped
+into the same wavefunction / sampler / VMC stack — this is exactly what the
+paper's comparison (Table 1) and our ansatz ablation bench require.
+
+MADE (masked autoencoder for distribution estimation, Germain et al. 2015)
+enforces autoregressive structure with binary masks on dense-layer weights:
+output block ``i`` only receives paths from input blocks ``< i``.
+
+The NAQS-style MLP mimics Barrett et al.'s "MLP with hard-coded pre- and
+postprocessing to ensure the autoregressive property": one shared MLP is
+applied per position to the prefix (positions >= i zeroed out) concatenated
+with a one-hot position encoding.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, concat, stack
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+
+__all__ = ["MADEAmplitude", "NAQSMLPAmplitude"]
+
+
+class _MaskedLinear(Module):
+    def __init__(self, in_features: int, out_features: int, mask: np.ndarray,
+                 rng: np.random.Generator):
+        super().__init__()
+        bound = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(rng.uniform(-bound, bound, (out_features, in_features)))
+        self.bias = Parameter(rng.uniform(-bound, bound, (out_features,)))
+        self.mask = mask.astype(np.float64)  # (out, in), constant
+
+    def forward(self, x: Tensor) -> Tensor:
+        w = self.weight * Tensor(self.mask)
+        return x @ w.transpose() + self.bias
+
+
+class MADEAmplitude(Module):
+    """Masked autoencoder over one-hot token inputs.
+
+    Input degrees: token ``i`` (0-based) has degree ``i + 1``; hidden units get
+    degrees cycling over ``1..T-1``; a hidden unit of degree ``m`` connects to
+    inputs of degree ``<= m``; the output block of token ``i`` (degree
+    ``i + 1``) connects to hidden units of degree ``< i + 1``.  Hence output
+    ``i`` depends only on tokens ``< i`` (block 0 depends on nothing but bias).
+    """
+
+    fixed_length = True  # the input layer has width n_tokens * vocab
+
+    def __init__(self, n_tokens: int, vocab_size: int = 4,
+                 hidden: tuple[int, ...] = (128, 128),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.n_tokens = n_tokens
+        self.vocab_size = vocab_size
+        t, v = n_tokens, vocab_size
+
+        in_deg = np.repeat(np.arange(1, t + 1), v)  # one-hot blocks
+        prev_deg = in_deg
+        layers = []
+        for h in hidden:
+            deg = 1 + (np.arange(h) % max(t - 1, 1))
+            mask = (deg[:, None] >= prev_deg[None, :])
+            layers.append(_MaskedLinear(len(prev_deg), h, mask, rng))
+            prev_deg = deg
+        out_deg = np.repeat(np.arange(1, t + 1), v)
+        out_mask = (out_deg[:, None] > prev_deg[None, :])
+        layers.append(_MaskedLinear(len(prev_deg), t * v, out_mask, rng))
+        self.layers = layers
+
+    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        b, t = tokens.shape
+        onehot = np.zeros((b, t * self.vocab_size))
+        flat = tokens + np.arange(t) * self.vocab_size
+        onehot[np.arange(b)[:, None], flat] = 1.0
+        x = Tensor(onehot)
+        for layer in self.layers[:-1]:
+            x = layer(x).relu()
+        out = self.layers[-1](x)
+        return out.reshape(b, t, self.vocab_size)
+
+
+class NAQSMLPAmplitude(Module):
+    """Shared per-position MLP over the zero-masked prefix + position one-hot."""
+
+    fixed_length = True  # the input layer has width n_tokens * (vocab + 1)
+
+    def __init__(self, n_tokens: int, vocab_size: int = 4,
+                 hidden: tuple[int, ...] = (128,),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.n_tokens = n_tokens
+        self.vocab_size = vocab_size
+        in_dim = n_tokens * vocab_size + n_tokens  # masked prefix + position one-hot
+        sizes = (in_dim, *hidden, vocab_size)
+        self.layers = [Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)]
+
+    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        b, t = tokens.shape
+        v = self.vocab_size
+        onehot = np.zeros((b, t, v))
+        onehot[np.arange(b)[:, None], np.arange(t)[None, :], tokens] = 1.0
+        outs = []
+        for i in range(t):
+            prefix = np.zeros((b, t, v))
+            prefix[:, :i] = onehot[:, :i]
+            pos = np.zeros((b, t))
+            pos[:, i] = 1.0
+            x = Tensor(np.concatenate([prefix.reshape(b, -1), pos], axis=1))
+            for layer in self.layers[:-1]:
+                x = layer(x).relu()
+            outs.append(self.layers[-1](x))
+        return stack(outs, axis=1)  # (b, t, v)

@@ -1,0 +1,99 @@
+"""Minimal module system (Parameter registration, state flattening).
+
+Mirrors ``torch.nn.Module`` closely enough that the QiankunNet code in
+``repro.core`` reads like the paper's PyTorch implementation.  Parameter
+vectors can be flattened to a single float64 array — that is the ``M``-sized
+buffer whose Allreduce dominates the communication volume analysis of
+Sec. 3.2 (8·M·N_p bytes per iteration).
+"""
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as trainable state of a Module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: attribute assignment auto-registers parameters/submodules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for i, v in enumerate(value):
+                self._modules[f"{key}.{i}"] = v
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------- traversal
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self._parameters.values()
+        for m in self._modules.values():
+            yield from m.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for k, p in self._parameters.items():
+            yield (f"{prefix}{k}", p)
+        for name, m in self._modules.items():
+            yield from m.named_parameters(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ---------------------------------------------------------- flat buffers
+    def get_flat_params(self) -> np.ndarray:
+        """All parameters concatenated into one float64 vector (length M)."""
+        parts = [p.data.reshape(-1) for p in self.parameters()]
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        offset = 0
+        for p in self.parameters():
+            n = p.size
+            p.data[...] = flat[offset : offset + n].reshape(p.shape)
+            offset += n
+        if offset != flat.size:
+            raise ValueError(f"flat vector size {flat.size} != model size {offset}")
+
+    def get_flat_grads(self) -> np.ndarray:
+        parts = [
+            (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+            for p in self.parameters()
+        ]
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def set_flat_grads(self, flat: np.ndarray) -> None:
+        offset = 0
+        for p in self.parameters():
+            n = p.size
+            p.grad = flat[offset : offset + n].reshape(p.shape).copy()
+            offset += n
+
+    # ----------------------------------------------------------------- call
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,37 @@
+"""The phase sub-network: a multilevel perceptron phi(x) (Fig. 2, right).
+
+The paper decomposes Psi(x) = |Psi(x)| e^{i phi(x)} and models the phase with
+an MLP of layer sizes N x 512 x 512 x 1 (Sec. 4.1).  The input is the raw
+qubit bitstring mapped to {-1, +1}; the output is an unconstrained real phase
+in radians.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+__all__ = ["PhaseMLP"]
+
+
+class PhaseMLP(Module):
+    def __init__(self, n_qubits: int, hidden: tuple[int, ...] = (512, 512),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        sizes = (n_qubits, *hidden, 1)
+        self.layers = [Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)]
+        self.n_qubits = n_qubits
+
+    def forward(self, bits: np.ndarray) -> Tensor:
+        """(batch, N) 0/1 bits -> (batch,) phase in radians."""
+        bits = np.asarray(bits, dtype=np.float64)
+        if bits.ndim == 1:
+            bits = bits[None, :]
+        x = Tensor(2.0 * bits - 1.0)
+        for layer in self.layers[:-1]:
+            x = layer(x).tanh()
+        out = self.layers[-1](x)
+        return out.reshape(out.shape[0])

@@ -1,0 +1,90 @@
+"""Restricted Boltzmann machine wavefunction (the Ref. [25] baseline).
+
+The paper's introduction contrasts QiankunNet against the RBM NNQS line
+(Carleo-Troyer 2017; Choo-Mezzacapo-Carleo 2020 for chemistry): a
+*non-autoregressive* ansatz whose amplitudes are
+
+    Psi(x) = exp(sum_j a_j s_j) * prod_k 2 cosh(b_k + sum_j W_kj s_j),
+
+with s_j = 2 x_j - 1.  Because |Psi|^2 is not normalized, sampling requires
+Markov-chain Monte Carlo (see repro.core.mcmc) — the cost the paper's batch
+autoregressive sampling eliminates.  Complex parameters are represented as
+separate real/imaginary Parameter pairs so the numpy autograd engine (which
+is real-valued) trains them; log Psi gradients are assembled analytically in
+``log_psi_and_grad`` for the VMC estimator.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["RBMWavefunction"]
+
+
+class RBMWavefunction(Module):
+    """Complex RBM over N qubits with ``alpha * N`` hidden units."""
+
+    def __init__(self, n_qubits: int, alpha: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        n_hidden = alpha * n_qubits
+        scale = 0.01
+        self.a_re = Parameter(rng.normal(0, scale, n_qubits))
+        self.a_im = Parameter(rng.normal(0, scale, n_qubits))
+        self.b_re = Parameter(rng.normal(0, scale, n_hidden))
+        self.b_im = Parameter(rng.normal(0, scale, n_hidden))
+        self.w_re = Parameter(rng.normal(0, scale, (n_hidden, n_qubits)))
+        self.w_im = Parameter(rng.normal(0, scale, (n_hidden, n_qubits)))
+        self.n_qubits = n_qubits
+        self.n_hidden = n_hidden
+
+    # ------------------------------------------------------------- inference
+    def _complex_params(self):
+        a = self.a_re.data + 1j * self.a_im.data
+        b = self.b_re.data + 1j * self.b_im.data
+        w = self.w_re.data + 1j * self.w_im.data
+        return a, b, w
+
+    def log_amplitudes(self, bits: np.ndarray) -> np.ndarray:
+        """(B,) complex log Psi(x)."""
+        bits = np.atleast_2d(np.asarray(bits, dtype=np.float64))
+        s = 2.0 * bits - 1.0
+        a, b, w = self._complex_params()
+        theta = s @ w.T + b[None, :]
+        return s @ a + np.log(2.0 * np.cosh(theta)).sum(axis=1)
+
+    def amplitudes(self, bits: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_amplitudes(bits))
+
+    # ------------------------------------------------------------- gradients
+    def log_psi_grad(self, bits: np.ndarray) -> np.ndarray:
+        """(B, M) complex d log Psi / d theta for the complex parameters.
+
+        Parameter order matches ``parameters()``: (a_re, a_im, b_re, b_im,
+        w_re, w_im) — the derivative wrt a real part is the complex gradient
+        itself, wrt an imaginary part it is ``1j`` times it, so the VMC
+        estimator can treat all real parameters uniformly.
+        """
+        bits = np.atleast_2d(np.asarray(bits, dtype=np.float64))
+        s = 2.0 * bits - 1.0
+        a, b, w = self._complex_params()
+        theta = s @ w.T + b[None, :]          # (B, H)
+        t = np.tanh(theta)
+        g_a = s.astype(np.complex128)          # (B, N)
+        g_b = t                                # (B, H)
+        g_w = np.einsum("bh,bn->bhn", t, s)    # (B, H, N)
+        batch = s.shape[0]
+        return np.concatenate(
+            [
+                g_a, 1j * g_a,
+                g_b, 1j * g_b,
+                g_w.reshape(batch, -1), 1j * g_w.reshape(batch, -1),
+            ],
+            axis=1,
+        )
+
+    def apply_gradient(self, grad_flat: np.ndarray) -> None:
+        """Store a real flat gradient into the parameter ``grad`` slots."""
+        self.set_flat_grads(grad_flat)

@@ -1,0 +1,69 @@
+"""The QiankunNet amplitude sub-network: a stack of transformer decoders.
+
+Fig. 2 of the paper: token embedding + positional embedding, L stacked
+decoders (masked multi-head self-attention + feed-forward), and a final
+linear + softmax head that emits the conditional distribution
+pi(x_i | x_{i-1}, ..., x_1) for every position in one forward pass.
+
+Tokens.  The paper samples *two qubits per step* ("since they correspond to
+the same spatial orbital", Sec. 3.3), i.e. the vocabulary is
+{00, 01, 10, 11} = {empty, up, down, doubly-occupied} and the sequence length
+is N/2 for N qubits.  ``vocab_size`` is configurable (2 for the 1-qubit-token
+ablation).
+
+Interface contract (shared with the MADE / NAQS-MLP baselines):
+``conditional_logits(tokens)`` takes an int array of shape ``(batch, T)``
+(right-padded with zeros beyond the known prefix) and returns a
+``(batch, T, vocab)`` Tensor of *unnormalized* logits where the entry at
+position ``i`` depends only on tokens ``< i`` — so the caller may feed any
+padding for positions ``>= prefix`` without corrupting earlier conditionals.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.attention import DecoderLayer
+from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
+from repro.nn.module import Module
+
+__all__ = ["TransformerAmplitude"]
+
+
+class TransformerAmplitude(Module):
+    """Decoder-only transformer emitting autoregressive conditional logits.
+
+    Parameters (paper defaults, Sec. 4.1): ``d_model=16``, ``n_heads=4``,
+    ``n_layers=2`` decoders; the embedding has one extra begin-of-sequence
+    token so that the conditional of the first position is also learned.
+    """
+
+    def __init__(self, n_tokens: int, vocab_size: int = 4, d_model: int = 16,
+                 n_heads: int = 4, n_layers: int = 2, d_ff: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.n_tokens = n_tokens
+        self.vocab_size = vocab_size
+        self.d_model = d_model
+        self.bos = vocab_size  # index of the begin-of-sequence token
+        self.tok_emb = Embedding(vocab_size + 1, d_model, rng=rng)
+        self.pos_emb = PositionalEmbedding(n_tokens + 1, d_model, rng=rng)
+        self.layers = [DecoderLayer(d_model, n_heads, d_ff, rng=rng) for _ in range(n_layers)]
+        self.ln_f = LayerNorm(d_model)
+        self.head = Linear(d_model, vocab_size, rng=rng)
+
+    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
+        """(batch, T) int tokens -> (batch, T, vocab) logits, causally masked."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        b, t = tokens.shape
+        # Shift right: position i attends to [BOS, x_1, ..., x_{i-1}].
+        shifted = np.concatenate(
+            [np.full((b, 1), self.bos, dtype=np.int64), tokens[:, : t - 1]], axis=1
+        )
+        x = self.tok_emb(shifted) + self.pos_emb(t)
+        for layer in self.layers:
+            x = layer(x)
+        return self.head(self.ln_f(x))

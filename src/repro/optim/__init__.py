@@ -1,0 +1,5 @@
+"""Optimizers and learning-rate schedules."""
+from repro.optim.adamw import AdamW, SGD
+from repro.optim.schedule import ConstantSchedule, NoamSchedule
+
+__all__ = ["AdamW", "SGD", "ConstantSchedule", "NoamSchedule"]

@@ -1,0 +1,43 @@
+"""Learning-rate schedules.
+
+:class:`NoamSchedule` implements Eq. (13) of the paper:
+
+    alpha_i = d_model^{-0.5} * min(i^{-0.5}, i * S_warmup^{-1.5})
+
+with the paper's default ``S_warmup = 4000``.  ``scale`` rescales the whole
+curve (useful when the iteration budget is far below the paper's 1e5).
+"""
+from __future__ import annotations
+
+__all__ = ["NoamSchedule", "ConstantSchedule"]
+
+
+class NoamSchedule:
+    def __init__(self, optimizer, d_model: int = 16, warmup: int = 4000,
+                 scale: float = 1.0):
+        self.optimizer = optimizer
+        self.d_model = d_model
+        self.warmup = warmup
+        self.scale = scale
+        self.i = 0
+
+    def lr_at(self, i: int) -> float:
+        i = max(i, 1)
+        return self.scale * self.d_model**-0.5 * min(i**-0.5, i * self.warmup**-1.5)
+
+    def step(self) -> float:
+        """Advance one epoch and push the new learning rate to the optimizer."""
+        self.i += 1
+        lr = self.lr_at(self.i)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule:
+    def __init__(self, optimizer, lr: float):
+        self.optimizer = optimizer
+        self.lr = lr
+        optimizer.lr = lr
+
+    def step(self) -> float:
+        return self.lr

@@ -1,0 +1,30 @@
+"""Data-centric parallelization (Sec. 3.2/3.3): FakeMPI, parallel BAS, scaling."""
+from repro.parallel.fake_mpi import CommStats, FakeComm, run_spmd
+from repro.parallel.multiprocess import ProcessComm, run_spmd_processes
+from repro.parallel.partition import balanced_weight_partition, split_tree_state
+from repro.parallel.comm_model import CommVolumeModel, comm_volume_bytes
+from repro.parallel.driver import DataParallelVMC, ParallelVMCStats
+from repro.parallel.scaling import (
+    ScalingPoint,
+    measure_scaling,
+    model_scaling,
+    parallel_efficiency,
+)
+
+__all__ = [
+    "CommStats",
+    "FakeComm",
+    "run_spmd",
+    "ProcessComm",
+    "run_spmd_processes",
+    "balanced_weight_partition",
+    "split_tree_state",
+    "CommVolumeModel",
+    "comm_volume_bytes",
+    "DataParallelVMC",
+    "ParallelVMCStats",
+    "ScalingPoint",
+    "measure_scaling",
+    "model_scaling",
+    "parallel_efficiency",
+]

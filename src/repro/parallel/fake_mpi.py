@@ -1,0 +1,156 @@
+"""An in-process MPI communicator with mpi4py-style semantics + byte accounting.
+
+The paper's data-centric scheme (Fig. 4) needs exactly three collectives:
+``Allgather`` (unique samples + weights, stage 2) and ``Allreduce`` (energy
+average, stage 4; gradients/parameters, stage 6).  ``run_spmd`` executes N_p
+rank functions on N_p *threads* synchronized by barriers, which gives real
+MPI collective semantics in one process; because the hot kernels (vectorized
+local energy, matmuls) release the GIL, thread ranks also deliver genuine
+wall-clock parallelism on multicore hosts — that is what the strong/weak
+scaling benches measure.
+
+Every collective records the bytes it would move on a real network using the
+paper's accounting convention (payload bytes x N_p), so the Sec. 3.2
+communication-volume figures are measured, not estimated.  The API mirrors
+mpi4py closely enough that porting the drivers to real MPI is an import swap.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CommStats", "FakeComm", "run_spmd"]
+
+
+@dataclass
+class CommStats:
+    """Byte counters per collective (paper convention: payload x N_p)."""
+
+    allgather_bytes: int = 0
+    allreduce_bytes: int = 0
+    bcast_bytes: int = 0
+    calls: dict = field(
+        default_factory=lambda: {"allgather": 0, "allreduce": 0, "bcast": 0}
+    )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.allgather_bytes + self.allreduce_bytes + self.bcast_bytes
+
+    def add(self, op: str, nbytes: int) -> None:
+        setattr(self, f"{op}_bytes", getattr(self, f"{op}_bytes") + nbytes)
+        self.calls[op] += 1
+
+
+class _World:
+    def __init__(self, size: int):
+        self.size = size
+        self.stats = CommStats()
+        self.lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.slots: dict[tuple, list] = {}
+        self.errors: list[BaseException] = []
+
+
+class FakeComm:
+    """Per-rank communicator handle (mpi4py-like surface).
+
+    All ranks must issue collectives in the same order — the MPI contract.
+    """
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self._rank = rank
+        self._seq = 0
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    @property
+    def stats(self) -> CommStats:
+        return self._world.stats
+
+    # ------------------------------------------------------------- internals
+    def _exchange(self, op: str, payload) -> list:
+        key = (op, self._seq)
+        self._seq += 1
+        w = self._world
+        with w.lock:
+            slot = w.slots.setdefault(key, [None] * w.size)
+        slot[self._rank] = payload
+        w.barrier.wait()
+        result = list(slot)
+        w.barrier.wait()  # everyone has read; safe to recycle
+        if self._rank == 0:
+            with w.lock:
+                w.slots.pop(key, None)
+        return result
+
+    # ------------------------------------------------------------ collectives
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def allgather(self, payload) -> list:
+        """Gather one object per rank onto all ranks; returns the rank-ordered list."""
+        result = self._exchange("allgather", payload)
+        if self._rank == 0:
+            with self._world.lock:
+                self._world.stats.add(
+                    "allgather", sum(_payload_bytes(p) for p in result) * self._world.size
+                )
+        return result
+
+    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        """Sum-reduce a numpy array across ranks; result identical on every rank."""
+        array = np.asarray(array)
+        result = self._exchange("allreduce", array)
+        if self._rank == 0:
+            with self._world.lock:
+                self._world.stats.add("allreduce", array.nbytes * self._world.size)
+        return np.sum(result, axis=0)
+
+    def bcast(self, array, root: int = 0):
+        payload = array if self._rank == root else None
+        result = self._exchange("bcast", payload)
+        if self._rank == 0:
+            with self._world.lock:
+                self._world.stats.add("bcast", _payload_bytes(result[root]) * self._world.size)
+        return result[root]
+
+
+def _payload_bytes(payload) -> int:
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_bytes(p) for p in payload)
+    return np.asarray(payload).nbytes
+
+
+def run_spmd(size: int, fn: Callable[[FakeComm], object]) -> tuple[list, CommStats]:
+    """Run ``fn(comm)`` as ``size`` thread ranks; returns (rank results, stats)."""
+    world = _World(size)
+    results: list = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(FakeComm(world, rank))
+        except BaseException as exc:  # surface rank failures to the caller
+            world.errors.append(exc)
+            world.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world.errors:
+        raise world.errors[0]
+    return results, world.stats

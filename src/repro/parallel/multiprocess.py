@@ -1,0 +1,166 @@
+"""Process-backed SPMD executor — the second communicator backend.
+
+``repro.parallel.fake_mpi.run_spmd`` runs ranks as *threads*: collectives
+are cheap (shared memory) and numpy kernels parallelize because they release
+the GIL, but pure-Python rank code serializes on the interpreter lock.  This
+module provides the complementary backend: ``run_spmd_processes`` forks one
+OS process per rank and routes collectives through pipes to a coordinator
+thread in the parent — true interpreter-level parallelism with explicit
+message passing, one step closer to real MPI.
+
+Semantics match ``run_spmd`` (allgather / allreduce_sum / bcast / barrier,
+byte accounting with the paper's payload x N_p convention), with the MPI-like
+restriction that **rank state is private**: unlike thread ranks, writes to
+captured objects are not visible across ranks — everything shared must flow
+through a collective.  The data-centric drivers honor that contract already;
+tests pin it down.
+
+Linux-only (uses the fork start method so closures need not pickle); payloads
+are exchanged via pickle over pipes.
+"""
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.fake_mpi import CommStats, _payload_bytes
+
+__all__ = ["ProcessComm", "run_spmd_processes"]
+
+
+class ProcessComm:
+    """Per-rank communicator speaking to the parent coordinator over a pipe."""
+
+    def __init__(self, rank: int, size: int, conn):
+        self._rank = rank
+        self._size = size
+        self._conn = conn
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._size
+
+    def _collective(self, op: str, payload):
+        self._conn.send((op, payload))
+        return self._conn.recv()
+
+    def barrier(self) -> None:
+        self._collective("barrier", None)
+
+    def allgather(self, payload) -> list:
+        return self._collective("allgather", payload)
+
+    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        return self._collective("allreduce", np.asarray(array))
+
+    def bcast(self, array, root: int = 0):
+        return self._collective(("bcast", root), array if self._rank == root else None)
+
+
+def _coordinator(parent_conns, stats: CommStats, stop_flag):
+    """Serve collectives: wait for all ranks, compute, reply to all ranks."""
+    size = len(parent_conns)
+    live = [True] * size
+    while not stop_flag[0] and any(live):
+        requests = [None] * size
+        got = 0
+        for r, conn in enumerate(parent_conns):
+            if not live[r]:
+                continue
+            try:
+                requests[r] = conn.recv()
+                got += 1
+            except EOFError:
+                live[r] = False
+        if got == 0:
+            return
+        if got != sum(live):
+            raise RuntimeError("ranks issued mismatched collective counts")
+        ops = {req[0] if not isinstance(req[0], tuple) else req[0][0]
+               for req in requests if req is not None}
+        if len(ops) != 1:
+            raise RuntimeError(f"ranks issued different collectives: {ops}")
+        op = ops.pop()
+        payloads = [req[1] for req in requests if req is not None]
+        if op == "barrier":
+            replies = [None] * size
+        elif op == "allgather":
+            stats.add("allgather", sum(_payload_bytes(p) for p in payloads) * size)
+            replies = [list(payloads)] * size
+        elif op == "allreduce":
+            total = payloads[0]
+            for p in payloads[1:]:
+                total = total + p
+            stats.add("allreduce", np.asarray(payloads[0]).nbytes * size)
+            replies = [total] * size
+        elif op == "bcast":
+            root = next(req[0][1] for req in requests if req is not None)
+            value = payloads[root]
+            stats.add("bcast", _payload_bytes(value) * size)
+            replies = [value] * size
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown collective {op!r}")
+        for r, conn in enumerate(parent_conns):
+            if live[r]:
+                conn.send(replies[r])
+
+
+def run_spmd_processes(
+    size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0
+) -> tuple[list, CommStats]:
+    """Run ``fn(comm)`` as ``size`` forked processes; returns (results, stats).
+
+    Rank return values are pickled back to the parent.  A rank exception is
+    re-raised in the parent (wrapped with the rank id).
+    """
+    ctx = mp.get_context("fork")
+    pipes = [ctx.Pipe() for _ in range(size)]
+    result_pipes = [ctx.Pipe() for _ in range(size)]
+
+    def worker(rank: int) -> None:
+        comm = ProcessComm(rank, size, pipes[rank][1])
+        try:
+            out = fn(comm)
+            result_pipes[rank][1].send(("ok", out))
+        except BaseException as exc:  # noqa: BLE001 - reraised in parent
+            result_pipes[rank][1].send(("error", f"rank {rank}: {exc!r}"))
+        finally:
+            pipes[rank][1].close()
+            result_pipes[rank][1].close()
+
+    procs = [ctx.Process(target=worker, args=(r,)) for r in range(size)]
+    for p in procs:
+        p.start()
+
+    stats = CommStats()
+    stop_flag = [False]
+    coord = threading.Thread(
+        target=_coordinator, args=([c for c, _ in pipes], stats, stop_flag)
+    )
+    coord.start()
+
+    results: list = [None] * size
+    error: str | None = None
+    for r in range(size):
+        if result_pipes[r][0].poll(timeout):
+            status, value = result_pipes[r][0].recv()
+            if status == "ok":
+                results[r] = value
+            else:
+                error = error or value
+        else:
+            error = error or f"rank {r}: timed out after {timeout}s"
+    stop_flag[0] = True
+    for p in procs:
+        p.join(timeout=10)
+        if p.is_alive():  # pragma: no cover - cleanup path
+            p.terminate()
+    coord.join(timeout=10)
+    if error is not None:
+        raise RuntimeError(error)
+    return results, stats

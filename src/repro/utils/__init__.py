@@ -1,0 +1,27 @@
+"""Shared utilities: bit packing, disk caching, deterministic RNG streams."""
+from repro.utils.bitstrings import (
+    bits_to_int,
+    int_to_bits,
+    lexsort_keys,
+    pack_bits,
+    parity64,
+    popcount64,
+    searchsorted_keys,
+)
+from repro.utils.cache import disk_cache, cache_dir
+from repro.utils.rng import spawn_rngs
+from repro.utils.ascii_plot import line_plot
+
+__all__ = [
+    "line_plot",
+    "bits_to_int",
+    "int_to_bits",
+    "lexsort_keys",
+    "pack_bits",
+    "parity64",
+    "popcount64",
+    "searchsorted_keys",
+    "disk_cache",
+    "cache_dir",
+    "spawn_rngs",
+]

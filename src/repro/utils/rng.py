@@ -1,0 +1,19 @@
+"""Deterministic RNG streams.
+
+The paper's parallel BAS (Sec. 3.3) requires every rank to draw *identical*
+random numbers for the first k sampling steps ("using the same random seed
+such that we get exactly the same samples on each process").  We therefore
+hand each rank a generator seeded from the same ``SeedSequence`` root: stream 0
+is the shared prefix stream, streams 1..P are per-rank continuation streams.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_rngs"]
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Return ``n`` independent generators derived from ``seed``."""
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,27 @@
+"""Shared fixtures: small molecular problems (session-scoped, disk-cached)."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import build_problem
+
+
+@pytest.fixture(scope="session")
+def h2_problem():
+    return build_problem("H2", "sto-3g", r=0.7414)
+
+
+@pytest.fixture(scope="session")
+def lih_problem():
+    return build_problem("LiH", "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def h2o_problem():
+    return build_problem("H2O", "sto-3g")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

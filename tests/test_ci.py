@@ -1,0 +1,115 @@
+"""Tests for truncated CI (CIS/CISD) and the excitation basis."""
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.chem import (
+    build_problem,
+    excitation_basis,
+    run_cis,
+    run_cisd,
+    run_fci,
+    run_truncated_ci,
+)
+
+
+def hf_bits(n_qubits, n_up, n_dn):
+    bits = np.zeros(n_qubits, dtype=np.uint8)
+    bits[0 : 2 * n_up : 2] = 1
+    bits[1 : 2 * n_dn : 2] = 1
+    return bits
+
+
+class TestExcitationBasis:
+    def test_rank0_is_hf_only(self):
+        bits = hf_bits(8, 2, 2)
+        basis = excitation_basis(bits, 0)
+        assert basis.dim == 1
+        np.testing.assert_array_equal(basis.bits()[0], bits)
+
+    def test_rank1_count(self):
+        # n_orb=4, 2 up + 2 dn: singles = 2*2 (up) + 2*2 (dn) + HF = 9
+        basis = excitation_basis(hf_bits(8, 2, 2), 1)
+        assert basis.dim == 1 + 2 * (2 * 2)
+
+    def test_rank2_count(self):
+        # doubles: up-up C(2,2)C(2,2)=1, dn-dn 1, mixed 4*4=16 -> 18
+        basis = excitation_basis(hf_bits(8, 2, 2), 2)
+        assert basis.dim == 9 + 1 + 1 + 16
+
+    def test_full_rank_recovers_sector(self):
+        from repro.hamiltonian import sector_basis
+
+        basis = excitation_basis(hf_bits(8, 2, 2), 4)
+        sector = sector_basis(8, 2, 2)
+        assert basis.dim == sector.dim == comb(4, 2) ** 2
+        np.testing.assert_array_equal(basis.keys, sector.keys)
+
+    def test_all_dets_conserve_particle_numbers(self):
+        basis = excitation_basis(hf_bits(12, 3, 2), 2)
+        bits = basis.bits()
+        assert np.all(bits[:, 0::2].sum(axis=1) == 3)
+        assert np.all(bits[:, 1::2].sum(axis=1) == 2)
+
+    def test_odd_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            excitation_basis(np.array([1, 0, 1], dtype=np.uint8), 1)
+
+
+class TestTruncatedCI:
+    def test_cisd_equals_fci_for_two_electrons(self, h2_problem):
+        fci = run_fci(h2_problem.hamiltonian)
+        cisd = run_cisd(h2_problem.hamiltonian, h2_problem.hf_bits)
+        assert cisd.energy == pytest.approx(fci.energy, abs=1e-9)
+
+    def test_brillouin_cis_equals_hf(self, lih_problem):
+        """Singles do not couple to the HF determinant (Brillouin's theorem)."""
+        cis = run_cis(lih_problem.hamiltonian, lih_problem.hf_bits)
+        assert cis.energy == pytest.approx(lih_problem.e_hf, abs=1e-7)
+
+    def test_variational_ordering(self, lih_problem):
+        """E_HF >= E_CIS >= E_CISD >= E_CISDT >= E_FCI."""
+        fci = run_fci(lih_problem.hamiltonian).energy
+        energies = [lih_problem.e_hf]
+        for rank in (1, 2, 3):
+            res = run_truncated_ci(lih_problem.hamiltonian, lih_problem.hf_bits, rank)
+            energies.append(res.energy)
+        energies.append(fci)
+        for hi, lo in zip(energies, energies[1:]):
+            assert hi >= lo - 1e-9
+
+    def test_full_rank_equals_fci(self, lih_problem):
+        fci = run_fci(lih_problem.hamiltonian)
+        full = run_truncated_ci(lih_problem.hamiltonian, lih_problem.hf_bits,
+                                max_rank=lih_problem.n_electrons)
+        assert full.energy == pytest.approx(fci.energy, abs=1e-8)
+        assert full.dim == fci.dim
+
+    def test_rank0_gives_hf_energy(self, lih_problem):
+        res = run_truncated_ci(lih_problem.hamiltonian, lih_problem.hf_bits, 0)
+        assert res.dim == 1
+        assert res.energy == pytest.approx(lih_problem.e_hf, abs=1e-8)
+
+    def test_cisd_captures_most_correlation_h2o(self, h2o_problem):
+        """CISD recovers the large majority of the correlation energy."""
+        fci = run_fci(h2o_problem.hamiltonian).energy
+        cisd = run_cisd(h2o_problem.hamiltonian, h2o_problem.hf_bits).energy
+        e_hf = h2o_problem.e_hf
+        recovered = (e_hf - cisd) / (e_hf - fci)
+        assert 0.9 < recovered <= 1.0 + 1e-9
+
+    def test_ground_state_normalized_and_hf_dominant(self, lih_problem):
+        res = run_cisd(lih_problem.hamiltonian, lih_problem.hf_bits)
+        assert np.linalg.norm(res.ground_state) == pytest.approx(1.0, abs=1e-8)
+        from repro.utils.bitstrings import pack_bits, searchsorted_keys
+
+        hf_idx = int(searchsorted_keys(res.basis.keys, pack_bits(lih_problem.hf_bits))[0])
+        assert abs(res.ground_state[hf_idx]) > 0.9
+
+    def test_bad_reference_raises(self, h2_problem):
+        # A reference outside its own excitation basis is impossible, but a
+        # non-number-conserving reference must still build a valid basis.
+        bits = np.array([1, 1, 1, 0], dtype=np.uint8)  # 2 up, 1 dn
+        res = run_truncated_ci(h2_problem.hamiltonian, bits, 1)
+        assert res.basis.n_up == 2 and res.basis.n_dn == 1

@@ -1,0 +1,119 @@
+"""Particle-number constraint masking (Eq. 12 + feasibility pruning)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import ParticleNumberConstraint
+
+
+class TestFourTokenMask:
+    def test_start_of_sequence(self):
+        c = ParticleNumberConstraint(n_tokens=4, n_up=2, n_dn=2)
+        mask = c.mask_for_step(np.array([0]), np.array([0]), step=0)
+        # 4 orbitals, 2+2 electrons: any token is feasible at step 0.
+        assert mask.tolist() == [[True, True, True, True]]
+
+    def test_exceeding_blocked(self):
+        c = ParticleNumberConstraint(n_tokens=4, n_up=1, n_dn=1)
+        mask = c.mask_for_step(np.array([1]), np.array([0]), step=1)
+        # up channel full: tokens 1 (up) and 3 (up+dn) are forbidden
+        assert mask[0].tolist() == [True, False, True, False]
+
+    def test_forced_filling_at_tail(self):
+        c = ParticleNumberConstraint(n_tokens=3, n_up=3, n_dn=0)
+        mask = c.mask_for_step(np.array([0]), np.array([0]), step=0)
+        # every remaining orbital must hold one up electron; dn forbidden
+        assert mask[0].tolist() == [False, True, False, False]
+
+    def test_tail_with_both_channels_forced(self):
+        c = ParticleNumberConstraint(n_tokens=2, n_up=2, n_dn=2)
+        mask = c.mask_for_step(np.array([1]), np.array([1]), step=1)
+        assert mask[0].tolist() == [False, False, False, True]
+
+    def test_mask_sequence_consistent_with_stepwise(self):
+        rng = np.random.default_rng(0)
+        c = ParticleNumberConstraint(n_tokens=5, n_up=2, n_dn=3)
+        toks = rng.integers(0, 4, size=(6, 5))
+        seq = c.mask_sequence(toks)
+        cu, cd = c.counts_before(toks)
+        for i in range(5):
+            np.testing.assert_array_equal(
+                seq[:, i], c.mask_for_step(cu[:, i], cd[:, i], i)
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.data())
+    def test_masked_paths_always_complete(self, n_tokens, data):
+        """Greedy sampling under the mask always lands in the target sector."""
+        n_up = data.draw(st.integers(0, n_tokens))
+        n_dn = data.draw(st.integers(0, n_tokens))
+        c = ParticleNumberConstraint(n_tokens, n_up, n_dn)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        cu = np.array([0])
+        cd = np.array([0])
+        toks = []
+        for step in range(n_tokens):
+            mask = c.mask_for_step(cu, cd, step)[0]
+            options = np.flatnonzero(mask)
+            assert len(options) > 0, "constraint produced a dead end"
+            t = int(rng.choice(options))
+            toks.append(t)
+            cu = cu + (t & 1)
+            cd = cd + (t >> 1)
+        assert cu[0] == n_up and cd[0] == n_dn
+
+    def test_validate_bits(self):
+        c = ParticleNumberConstraint(n_tokens=3, n_up=2, n_dn=1)
+        good = np.array([[1, 0, 1, 1, 0, 0]], dtype=np.uint8)  # up at q0,q2? q0,q2 even
+        # even qubits (0,2,4): bits 1,1,0 -> n_up=2; odd (1,3,5): 0,1,0 -> n_dn=1
+        assert c.validate_bits(good)[0]
+        bad = np.array([[1, 1, 1, 1, 0, 0]], dtype=np.uint8)
+        assert not c.validate_bits(bad)[0]
+
+
+class TestOneQubitTokenMask:
+    def test_parity_aware_accounting(self):
+        # positions address qubits in reverse: pos_spin from qubit parity
+        pos_spin = np.array([1, 0, 1, 0])  # qubits 3,2,1,0 for N=4
+        c = ParticleNumberConstraint(4, n_up=1, n_dn=1, vocab_size=2, pos_spin=pos_spin)
+        # At step 0 (a down qubit), placing one dn electron is allowed;
+        # skipping is also allowed because one dn slot remains (step 2).
+        mask = c.mask_for_step(np.array([0]), np.array([0]), 0)
+        assert mask[0].tolist() == [True, True]
+        # After placing the dn electron, the other dn position must stay empty.
+        mask2 = c.mask_for_step(np.array([0]), np.array([1]), 2)
+        assert mask2[0].tolist() == [True, False]
+
+    def test_forced_occupation(self):
+        pos_spin = np.array([0, 1, 0, 1])
+        c = ParticleNumberConstraint(4, n_up=2, n_dn=0, vocab_size=2, pos_spin=pos_spin)
+        mask = c.mask_for_step(np.array([0]), np.array([0]), 0)
+        assert mask[0].tolist() == [False, True]  # must fill every up slot
+        mask_dn = c.mask_for_step(np.array([0]), np.array([0]), 1)
+        assert mask_dn[0].tolist() == [True, False]  # dn slots must stay empty
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.data())
+    def test_completion_property(self, n_orb, data):
+        n = 2 * n_orb
+        n_up = data.draw(st.integers(0, n_orb))
+        n_dn = data.draw(st.integers(0, n_orb))
+        order = np.arange(n)[::-1]
+        c = ParticleNumberConstraint(n, n_up, n_dn, vocab_size=2, pos_spin=order % 2)
+        rng = np.random.default_rng(data.draw(st.integers(0, 99)))
+        cu = np.array([0]); cd = np.array([0])
+        for step in range(n):
+            mask = c.mask_for_step(cu, cd, step)[0]
+            options = np.flatnonzero(mask)
+            assert len(options) > 0
+            t = int(rng.choice(options))
+            if order[step] % 2 == 0:
+                cu = cu + t
+            else:
+                cd = cd + t
+        assert (cu[0], cd[0]) == (n_up, n_dn)
+
+    def test_invalid_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleNumberConstraint(4, 1, 1, vocab_size=3)

@@ -1,0 +1,141 @@
+"""Tests for VMC convergence diagnostics."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    correlation_energy_fraction,
+    detect_plateau,
+    v_score,
+    zero_variance_extrapolation,
+)
+from repro.core.vmc import VMCStats
+
+
+def stats(energy, variance, i=0):
+    return VMCStats(iteration=i, energy=energy, variance=variance, n_unique=1,
+                    n_samples=1, lr=0.0, eloc_imag=0.0)
+
+
+class TestVScore:
+    def test_eigenstate_has_zero_score(self):
+        assert v_score(-1.1, 0.0, n_qubits=4) == 0.0
+
+    def test_scales_with_variance_and_qubits(self):
+        assert v_score(-2.0, 0.01, 8) == pytest.approx(2 * v_score(-2.0, 0.01, 4))
+        assert v_score(-2.0, 0.02, 4) == pytest.approx(2 * v_score(-2.0, 0.01, 4))
+
+    def test_reference_shift(self):
+        a = v_score(-1.1, 0.01, 4, e_ref=0.0)
+        b = v_score(-1.1, 0.01, 4, e_ref=-1.0)
+        assert b > a  # smaller gap -> larger (worse) score
+
+    def test_zero_gap_raises(self):
+        with pytest.raises(ValueError):
+            v_score(-1.0, 0.01, 4, e_ref=-1.0)
+
+
+class TestZeroVarianceExtrapolation:
+    def test_recovers_exact_linear_relation(self):
+        rng = np.random.default_rng(0)
+        e0, slope = -1.137, 0.8
+        history = [stats(e0 + slope * v, v) for v in rng.uniform(0.01, 0.2, 40)]
+        res = zero_variance_extrapolation(history, window=40)
+        assert res.energy == pytest.approx(e0, abs=1e-12)
+        assert res.slope == pytest.approx(slope, abs=1e-12)
+        assert res.r_squared == pytest.approx(1.0, abs=1e-12)
+        assert res.reliable
+
+    def test_noisy_fit_reports_r2(self):
+        rng = np.random.default_rng(1)
+        vs = rng.uniform(0.05, 0.2, 60)
+        history = [stats(-1.0 + 0.5 * v + 0.001 * rng.standard_normal(), v) for v in vs]
+        res = zero_variance_extrapolation(history, window=60)
+        assert res.energy == pytest.approx(-1.0, abs=5e-3)
+        assert 0.5 < res.r_squared <= 1.0
+
+    def test_constant_variance_degenerates_gracefully(self):
+        history = [stats(-1.0, 0.1) for _ in range(10)]
+        res = zero_variance_extrapolation(history)
+        assert res.energy == pytest.approx(-1.0)
+        assert res.slope == 0.0
+        assert not res.reliable
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            zero_variance_extrapolation([stats(-1.0, 0.1)])
+
+    def test_window_selects_tail(self):
+        # Early garbage, clean tail: window must ignore the garbage.
+        garbage = [stats(5.0, 3.0) for _ in range(50)]
+        rng = np.random.default_rng(2)
+        clean = [stats(-2.0 + 0.3 * v, v) for v in rng.uniform(0.01, 0.1, 30)]
+        res = zero_variance_extrapolation(garbage + clean, window=30)
+        assert res.energy == pytest.approx(-2.0, abs=1e-10)
+
+
+class TestPlateau:
+    def test_improving_run_is_not_plateaued(self):
+        history = [stats(-1.0 - 0.01 * i, 0.1, i) for i in range(200)]
+        assert not detect_plateau(history, window=50)
+
+    def test_flat_run_is_plateaued(self):
+        history = [stats(-1.1, 0.1, i) for i in range(200)]
+        assert detect_plateau(history, window=50)
+
+    def test_short_history_never_plateaus(self):
+        history = [stats(-1.1, 0.1, i) for i in range(60)]
+        assert not detect_plateau(history, window=50)
+
+    def test_noise_only_run_plateaus(self):
+        rng = np.random.default_rng(3)
+        history = [stats(-1.1 + 1e-4 * rng.standard_normal(), 0.1, i)
+                   for i in range(300)]
+        assert detect_plateau(history, window=100, rel_tol=1e-4)
+
+
+class TestCorrelationFraction:
+    def test_endpoints(self):
+        assert correlation_energy_fraction(-1.0, e_hf=-1.0, e_exact=-1.2) == 0.0
+        assert correlation_energy_fraction(-1.2, e_hf=-1.0, e_exact=-1.2) == 1.0
+
+    def test_midpoint(self):
+        assert correlation_energy_fraction(-1.1, -1.0, -1.2) == pytest.approx(0.5)
+
+    def test_degenerate_references_raise(self):
+        with pytest.raises(ValueError):
+            correlation_energy_fraction(-1.0, -1.0, -1.0)
+
+
+class TestSampledRDMIntegration:
+    def test_matches_exact_rdm_of_same_state(self, h2_problem):
+        """Sampled gamma ~ exact gamma of the sampled wave function itself."""
+        from repro.chem.properties import one_rdm_spin_orbital
+        from repro.core import (batch_autoregressive_sample, build_qiankunnet,
+                                one_rdm_sampled, pretrain_to_reference)
+        from repro.hamiltonian import sector_basis
+
+        wf = build_qiankunnet(4, 1, 1, d_model=8, n_heads=2, n_layers=1,
+                              phase_hidden=(16,), seed=3)
+        pretrain_to_reference(wf, h2_problem.hf_bits, n_steps=60)
+        rng = np.random.default_rng(0)
+        batch = batch_autoregressive_sample(wf, 10**5, rng)
+        gamma_s = one_rdm_sampled(wf, batch)
+
+        basis = sector_basis(4, 1, 1)
+        amps = wf.amplitudes(basis.bits())
+        # The NNQS state is complex; compare against |amps| real proxy only on
+        # the diagonal, and exact real-state machinery off-diagonal (phases
+        # here are near-constant after pretraining on a single determinant).
+        gamma_e = one_rdm_spin_orbital(np.abs(amps), basis)
+        np.testing.assert_allclose(np.diag(gamma_s), np.diag(gamma_e), atol=5e-3)
+        assert np.trace(gamma_s) == pytest.approx(2.0, abs=1e-9)
+
+    def test_large_system_guard(self):
+        from repro.core import build_qiankunnet, one_rdm_sampled, SampleBatch
+
+        wf = build_qiankunnet(24, 6, 6, d_model=8, n_heads=2, n_layers=1,
+                              phase_hidden=(16,), seed=0)
+        batch = SampleBatch(bits=np.zeros((1, 24), dtype=np.uint8),
+                            weights=np.array([1], dtype=np.int64))
+        with pytest.raises(ValueError, match="max_qubits"):
+            one_rdm_sampled(wf, batch)

@@ -1,0 +1,61 @@
+"""Smoke-run every example script with a minimal budget.
+
+The examples are user-facing deliverables; each must execute end-to-end from
+a clean interpreter.  Budgets are cut to a few iterations — correctness of
+the underlying physics is covered by the unit/integration suites, this file
+guards the example code paths themselves (imports, CLI, printing).
+"""
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--iters", "5"]),
+    ("beh2_dissociation.py", ["--iters", "5", "--points", "1.326"]),
+    ("ansatz_comparison.py", ["--molecule", "H2", "--iters", "5"]),
+    ("batch_sampling_demo.py", ["--molecule", "H2"]),
+    ("parallel_scaling.py", ["--molecule", "H2", "--ranks", "1", "2",
+                             "--samples", "10000", "--iters", "1"]),
+    ("properties_demo.py", ["--iters", "5"]),
+    ("sr_vs_adamw.py", ["--sr-iters", "3", "--adamw-iters", "5"]),
+    ("active_space_n2.py", ["--iters", "5", "--bond-lengths", "1.0977"]),
+]
+
+
+def run_example(name: str, args: list[str], timeout: int = 600) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    proc = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed (rc={proc.returncode})\nstdout:\n{proc.stdout}\n"
+        f"stderr:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(name, args):
+    out = run_example(name, args)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_all_methods():
+    out = run_example("quickstart.py", ["--iters", "5"])
+    for token in ("HF", "CCSD", "QiankunNet", "FCI", "chemical accuracy"):
+        assert token in out
+
+
+def test_h2_large_basis_smallest_config():
+    """The Fig. 13 example on the smallest basis it accepts (slow otherwise)."""
+    out = run_example("h2_large_basis.py",
+                      ["--iters", "2", "--basis", "sto-3g"], timeout=900)
+    assert "FCI" in out

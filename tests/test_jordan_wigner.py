@@ -1,0 +1,133 @@
+"""Jordan-Wigner transformation: operator algebra and molecular anchors."""
+import numpy as np
+import pytest
+
+from repro.chem import build_problem, make_molecule, compute_integrals, run_rhf
+from repro.chem.mo_integrals import mo_transform, to_spin_orbitals
+from repro.hamiltonian import (
+    jordan_wigner,
+    ladder_terms,
+    strings_to_matrix,
+    term_matrix,
+)
+
+
+def dense_ladder(p: int, dagger: bool, n: int) -> np.ndarray:
+    out = np.zeros((2**n, 2**n), dtype=complex)
+    for x, z, c in ladder_terms(p, dagger):
+        out += c * term_matrix(x, z, n)
+    return out
+
+
+class TestLadderOperators:
+    def test_annihilation_matrix_single_mode(self):
+        a = dense_ladder(0, dagger=False, n=1)
+        np.testing.assert_allclose(a, [[0, 1], [0, 0]], atol=1e-12)
+
+    def test_creation_is_adjoint(self):
+        for p in range(3):
+            a = dense_ladder(p, dagger=False, n=3)
+            c = dense_ladder(p, dagger=True, n=3)
+            np.testing.assert_allclose(c, a.conj().T, atol=1e-12)
+
+    def test_canonical_anticommutation(self):
+        n = 3
+        for p in range(n):
+            for q in range(n):
+                a_p = dense_ladder(p, False, n)
+                c_q = dense_ladder(q, True, n)
+                anti = a_p @ c_q + c_q @ a_p
+                np.testing.assert_allclose(
+                    anti, np.eye(2**n) * (1.0 if p == q else 0.0), atol=1e-12
+                )
+
+    def test_same_type_anticommute(self):
+        n = 3
+        for p in range(n):
+            for q in range(n):
+                a_p = dense_ladder(p, False, n)
+                a_q = dense_ladder(q, False, n)
+                np.testing.assert_allclose(a_p @ a_q + a_q @ a_p, 0.0, atol=1e-12)
+
+    def test_number_operator_diagonal(self):
+        n = 2
+        for p in range(n):
+            num = dense_ladder(p, True, n) @ dense_ladder(p, False, n)
+            diag = np.diag(num).real
+            for idx in range(2**n):
+                assert diag[idx] == ((idx >> p) & 1)
+
+
+class TestMolecularJW:
+    def test_h2_term_count(self, h2_problem):
+        # H2/STO-3G famously maps to 15 Pauli strings (incl. identity).
+        assert h2_problem.hamiltonian.n_terms == 14
+
+    def test_h2_even_y_counts(self, h2_problem):
+        assert np.all(h2_problem.hamiltonian.y_counts() % 2 == 0)
+
+    def test_h2_dense_spectrum_matches_fci_sector(self, h2_problem):
+        from repro.chem import run_fci
+
+        H = strings_to_matrix(h2_problem.hamiltonian.to_terms())
+        assert np.abs(H.imag).max() < 1e-10
+        ground_all = np.linalg.eigvalsh(H.real)[0] + h2_problem.hamiltonian.constant
+        fci = run_fci(h2_problem.hamiltonian)
+        # For H2 the global ground state lies in the half-filling sector.
+        assert fci.energy == pytest.approx(ground_all, abs=1e-9)
+
+    def test_hamiltonian_commutes_with_number_ops(self, h2_problem):
+        n = h2_problem.n_qubits
+        H = strings_to_matrix(h2_problem.hamiltonian.to_terms())
+        # N_up = sum over even qubits of (I - Z)/2
+        for parity in (0, 1):
+            num = np.zeros_like(H)
+            for q in range(parity, n, 2):
+                num += (np.eye(2**n) - term_matrix(0, 1 << q, n)) / 2.0
+            np.testing.assert_allclose(H @ num, num @ H, atol=1e-9)
+
+    def test_hf_expectation_matches_rhf_energy(self, h2o_problem):
+        """<HF| H |HF> must equal the SCF energy — a strong end-to-end check."""
+        from repro.hamiltonian import compress_hamiltonian, sector_hamiltonian_dense
+        from repro.utils.bitstrings import pack_bits, searchsorted_keys
+
+        comp = compress_hamiltonian(h2o_problem.hamiltonian)
+        Hs, basis = sector_hamiltonian_dense(
+            comp, h2o_problem.n_up, h2o_problem.n_dn
+        )
+        key = pack_bits(h2o_problem.hf_bits[None, :])
+        idx = searchsorted_keys(basis.keys, key)[0]
+        assert idx >= 0
+        assert Hs[idx, idx] == pytest.approx(h2o_problem.e_hf, abs=1e-7)
+
+    def test_constant_contains_nuclear_repulsion(self, h2_problem):
+        mol = make_molecule("H2", r=0.7414)
+        # constant = e_nuc + identity Pauli coefficient; it must differ from
+        # e_nuc (the JW identity term is nonzero) but track it.
+        assert h2_problem.hamiltonian.constant != pytest.approx(mol.nuclear_repulsion())
+
+    def test_lih_sector_energy_below_hf(self, lih_problem):
+        from repro.chem import run_fci
+
+        fci = run_fci(lih_problem.hamiltonian)
+        assert fci.energy < lih_problem.e_hf
+        # LiH/STO-3G FCI is about -7.8823 Ha at r = 1.5949 A.
+        assert fci.energy == pytest.approx(-7.8823, abs=2e-3)
+
+    def test_hermiticity_of_dense_form(self, lih_problem):
+        H = strings_to_matrix(lih_problem.hamiltonian.to_terms()[:50])
+        np.testing.assert_allclose(H, H.conj().T, atol=1e-10)
+
+
+class TestFrozenCore:
+    def test_frozen_core_h2o_close_to_full_fci(self):
+        from repro.chem import run_fci
+
+        full = build_problem("H2O", "sto-3g")
+        frozen = build_problem("H2O", "sto-3g", n_frozen=1)
+        assert frozen.n_qubits == full.n_qubits - 2
+        e_full = run_fci(full.hamiltonian).energy
+        e_frozen = run_fci(frozen.hamiltonian).energy
+        # Freezing the O 1s core costs < 1 mHa of correlation energy.
+        assert e_frozen == pytest.approx(e_full, abs=1e-3)
+        assert e_frozen >= e_full - 1e-9  # frozen space is a subspace

@@ -1,0 +1,114 @@
+"""Optimizers and the Eq. 13 learning-rate schedule."""
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Parameter
+from repro.optim import AdamW, ConstantSchedule, NoamSchedule, SGD
+
+
+class _Quadratic(Module):
+    """f(x) = |x - target|^2, a convex test problem."""
+
+    def __init__(self, dim=6, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.x = Parameter(rng.normal(size=dim))
+        self.target = rng.normal(size=dim)
+
+    def loss(self) -> Tensor:
+        d = self.x - Tensor(self.target)
+        return (d * d).sum()
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        m = _Quadratic()
+        opt = AdamW(m, lr=0.05, weight_decay=0.0)
+        for _ in range(400):
+            opt.zero_grad()
+            m.loss().backward()
+            opt.step()
+        np.testing.assert_allclose(m.x.data, m.target, atol=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        m = _Quadratic()
+        m.target[:] = 0.0
+        x0 = np.abs(m.x.data).sum()
+        opt = AdamW(m, lr=0.0, weight_decay=0.1)  # pure decay has no effect at lr=0
+        opt.zero_grad()
+        m.loss().backward()
+        opt.step()
+        np.testing.assert_allclose(np.abs(m.x.data).sum(), x0)
+        opt2 = AdamW(m, lr=0.01, weight_decay=0.5)
+        for _ in range(50):
+            opt2.zero_grad()
+            m.loss().backward()
+            opt2.step()
+        assert np.abs(m.x.data).sum() < x0
+
+    def test_skips_params_without_grad(self):
+        m = _Quadratic()
+        opt = AdamW(m, lr=0.1)
+        before = m.x.data.copy()
+        opt.step()  # no grads computed yet
+        np.testing.assert_array_equal(m.x.data, before)
+
+    def test_bias_correction_first_step(self):
+        # After one step with unit gradient, update must be ~lr (not lr*(1-b1)).
+        m = _Quadratic(dim=1)
+        m.x.data[:] = 0.0
+        m.x.grad = np.ones(1)
+        opt = AdamW(m, lr=0.1, weight_decay=0.0)
+        opt.step()
+        np.testing.assert_allclose(m.x.data, [-0.1], rtol=1e-6)
+
+
+class TestSGD:
+    def test_converges(self):
+        m = _Quadratic()
+        opt = SGD(m, lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            m.loss().backward()
+            opt.step()
+        np.testing.assert_allclose(m.x.data, m.target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            m = _Quadratic(seed=3)
+            opt = SGD(m, lr=0.01, momentum=mom)
+            for _ in range(100):
+                opt.zero_grad()
+                loss = m.loss()
+                loss.backward()
+                opt.step()
+            losses[mom] = m.loss().item()
+        assert losses[0.9] < losses[0.0]
+
+
+class TestNoamSchedule:
+    def test_eq13_formula(self):
+        opt = AdamW(_Quadratic(), lr=0.0)
+        sched = NoamSchedule(opt, d_model=16, warmup=4000)
+        for i in (1, 100, 4000, 10000):
+            expected = 16**-0.5 * min(i**-0.5, i * 4000**-1.5)
+            assert sched.lr_at(i) == pytest.approx(expected)
+
+    def test_peak_at_warmup(self):
+        sched = NoamSchedule(AdamW(_Quadratic(), lr=0.0), d_model=16, warmup=100)
+        lrs = [sched.lr_at(i) for i in range(1, 400)]
+        assert int(np.argmax(lrs)) + 1 == 100
+
+    def test_step_pushes_lr(self):
+        opt = AdamW(_Quadratic(), lr=0.0)
+        sched = NoamSchedule(opt, d_model=16, warmup=10, scale=2.0)
+        lr = sched.step()
+        assert opt.lr == lr > 0
+
+    def test_constant_schedule(self):
+        opt = AdamW(_Quadratic(), lr=0.0)
+        sched = ConstantSchedule(opt, lr=0.123)
+        sched.step()
+        assert opt.lr == 0.123

@@ -1,0 +1,111 @@
+"""Symplectic Pauli algebra and dense-matrix cross checks."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamiltonian import (
+    PauliTerm,
+    letters_to_xz,
+    pauli_mul,
+    strings_to_matrix,
+    term_matrix,
+    xz_to_letters,
+)
+
+_I = np.eye(2)
+_X = np.array([[0, 1], [1, 0]], dtype=float)
+_Y = np.array([[0, -1j], [1j, 0]])
+_Z = np.diag([1.0, -1.0])
+_LETTER = {"I": _I, "X": _X, "Y": _Y, "Z": _Z}
+
+
+def dense_from_letters(s: str) -> np.ndarray:
+    """Qubit 0 = least-significant bit of the basis index."""
+    mat = np.array([[1.0]])
+    for ch in s:
+        mat = np.kron(_LETTER[ch], mat)
+    return mat
+
+
+class TestSingleQubit:
+    def test_xz_matrices(self):
+        np.testing.assert_array_equal(term_matrix(1, 0, 1), _X)
+        np.testing.assert_array_equal(term_matrix(0, 1, 1), _Z)
+        # X Z = -i Y  =>  i * (X Z) = Y
+        np.testing.assert_allclose(1j * term_matrix(1, 1, 1), _Y)
+
+    def test_z_sign_convention(self):
+        # Z|1> = -|1> with basis index = occupation number.
+        Z = term_matrix(0, 1, 1)
+        assert Z[1, 1] == -1.0 and Z[0, 0] == 1.0
+
+
+class TestMul:
+    @settings(max_examples=40, deadline=None)
+    @given(*(st.integers(0, 2**6 - 1) for _ in range(4)))
+    def test_matches_dense(self, x1, z1, x2, z2):
+        n = 6
+        x, z, sign = pauli_mul(x1, z1, x2, z2)
+        lhs = term_matrix(x1, z1, n) @ term_matrix(x2, z2, n)
+        rhs = sign * term_matrix(x, z, n)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(*(st.integers(0, 2**5 - 1) for _ in range(6)))
+    def test_associativity(self, a, b, c, d, e, f):
+        x1, z1, s1 = pauli_mul(a, b, c, d)
+        x2, z2, s2 = pauli_mul(x1, z1, e, f)
+        y1, w1, t1 = pauli_mul(c, d, e, f)
+        y2, w2, t2 = pauli_mul(a, b, y1, w1)
+        assert (x2, z2, s1 * s2) == (y2, w2, t1 * t2)
+
+    def test_self_product_is_identity(self):
+        for x, z in [(0b101, 0b011), (0, 0b1), (0b11, 0)]:
+            xx, zz, sign = pauli_mul(x, z, x, z)
+            assert xx == 0 and zz == 0
+            # (X^x Z^z)^2 = (-1)^{|x & z|} I
+            assert sign == (-1) ** bin(x & z).count("1")
+
+
+class TestLetterConversion:
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="IXYZ", min_size=1, max_size=8))
+    def test_roundtrip(self, s):
+        x, z, phase = letters_to_xz(s)
+        assert xz_to_letters(x, z, len(s)) == s
+        assert phase == (1j) ** s.count("Y")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="IXYZ", min_size=1, max_size=6))
+    def test_dense_equivalence(self, s):
+        """coeff_letters * letters == coeff_xz * X^x Z^z with coeff_xz = phase."""
+        x, z, phase = letters_to_xz(s)
+        np.testing.assert_allclose(
+            dense_from_letters(s), phase * term_matrix(x, z, len(s)), atol=1e-12
+        )
+
+    def test_invalid_letter_raises(self):
+        with pytest.raises(ValueError):
+            letters_to_xz("XQZ")
+
+
+class TestPauliTerm:
+    def test_y_count(self):
+        x, z, _ = letters_to_xz("XYYZ")
+        t = PauliTerm(x=x, z=z, coeff=1.0, n=4)
+        assert t.n_y == 2
+        assert t.letters() == "XYYZ"
+
+    def test_letter_coeff(self):
+        x, z, phase = letters_to_xz("YY")
+        t = PauliTerm(x=x, z=z, coeff=2.0 * phase, n=2)
+        assert t.letter_coeff() == pytest.approx(2.0)
+
+    def test_strings_to_matrix_hermitian(self):
+        terms = []
+        for s, c in [("XX", 0.3), ("YY", -0.2), ("ZI", 0.5), ("IZ", 0.5)]:
+            x, z, phase = letters_to_xz(s)
+            terms.append(PauliTerm(x=x, z=z, coeff=c * phase, n=2))
+        H = strings_to_matrix(terms)
+        np.testing.assert_allclose(H, H.conj().T, atol=1e-12)

@@ -1,0 +1,121 @@
+"""Autoregressive + batch autoregressive sampling (Fig. 3)."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    autoregressive_sample,
+    bas_prefix_sweep,
+    batch_autoregressive_sample,
+    build_qiankunnet,
+)
+from tests.test_wavefunction import sector_bitstrings
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return build_qiankunnet(8, 2, 2, d_model=8, n_heads=2, n_layers=1,
+                            phase_hidden=(16,), seed=9)
+
+
+class TestBAS:
+    def test_weights_sum_to_ns(self, wf):
+        rng = np.random.default_rng(0)
+        batch = batch_autoregressive_sample(wf, 10_000, rng)
+        assert batch.n_samples == 10_000
+        assert np.all(batch.weights > 0)
+
+    def test_samples_unique(self, wf):
+        rng = np.random.default_rng(1)
+        batch = batch_autoregressive_sample(wf, 5000, rng)
+        assert len(np.unique(batch.bits, axis=0)) == batch.n_unique
+
+    def test_samples_in_sector(self, wf):
+        rng = np.random.default_rng(2)
+        batch = batch_autoregressive_sample(wf, 5000, rng)
+        assert np.all(wf.constraint.validate_bits(batch.bits))
+
+    def test_deterministic_with_seed(self, wf):
+        b1 = batch_autoregressive_sample(wf, 1000, np.random.default_rng(42))
+        b2 = batch_autoregressive_sample(wf, 1000, np.random.default_rng(42))
+        np.testing.assert_array_equal(b1.bits, b2.bits)
+        np.testing.assert_array_equal(b1.weights, b2.weights)
+
+    def test_huge_ns_supported(self, wf):
+        """N_s up to 1e12 (the paper's budget) must not overflow."""
+        rng = np.random.default_rng(3)
+        batch = batch_autoregressive_sample(wf, 10**12, rng)
+        assert batch.n_samples == 10**12
+        # Unique count is bounded by the sector size, not N_s.
+        assert batch.n_unique <= len(sector_bitstrings(8, 2, 2))
+
+    def test_empirical_matches_ansatz_distribution(self, wf):
+        """BAS frequencies converge to pi(x) (law of large numbers)."""
+        rng = np.random.default_rng(4)
+        batch = batch_autoregressive_sample(wf, 2_000_000, rng)
+        logp = wf.log_prob(batch.bits).data
+        freq = batch.frequencies()
+        np.testing.assert_allclose(freq, np.exp(logp), atol=5e-3)
+
+    def test_matches_plain_autoregressive_distribution(self, wf):
+        """BAS and per-sample autoregressive sampling draw the same law."""
+        rng = np.random.default_rng(5)
+        bas = batch_autoregressive_sample(wf, 200_000, rng)
+        plain = autoregressive_sample(wf, 20_000, rng)
+        # Compare empirical frequencies on the union support.
+        all_bits = sector_bitstrings(8, 2, 2)
+        def freq_of(batch):
+            out = np.zeros(len(all_bits))
+            for i, b in enumerate(all_bits):
+                hit = np.all(batch.bits == b, axis=1)
+                if hit.any():
+                    out[i] = batch.weights[hit].sum() / batch.n_samples
+            return out
+        np.testing.assert_allclose(freq_of(bas), freq_of(plain), atol=2e-2)
+
+    def test_frequencies_sum_to_one(self, wf):
+        batch = batch_autoregressive_sample(wf, 1234, np.random.default_rng(6))
+        assert batch.frequencies().sum() == pytest.approx(1.0)
+
+
+class TestPrefixSweep:
+    def test_stops_at_threshold(self, wf):
+        rng = np.random.default_rng(7)
+        state = bas_prefix_sweep(wf, 10**6, rng, stop_unique=4)
+        assert len(state.weights) >= 4 or state.step == wf.n_tokens
+        assert state.weights.sum() == 10**6
+
+    def test_resume_produces_full_samples(self, wf):
+        rng = np.random.default_rng(8)
+        state = bas_prefix_sweep(wf, 10**5, rng, stop_unique=4)
+        batch = batch_autoregressive_sample(wf, 0, rng, start=state)
+        assert batch.n_samples == 10**5
+        assert np.all(wf.constraint.validate_bits(batch.bits))
+
+    def test_counts_tracked_along_prefix(self, wf):
+        rng = np.random.default_rng(9)
+        state = bas_prefix_sweep(wf, 10**4, rng, stop_unique=6)
+        cu, cd = wf.sector_counts(state.prefixes)
+        np.testing.assert_array_equal(cu, state.counts_up)
+        np.testing.assert_array_equal(cd, state.counts_dn)
+
+
+class TestPlainAutoregressive:
+    def test_counts_and_sector(self, wf):
+        rng = np.random.default_rng(10)
+        batch = autoregressive_sample(wf, 500, rng)
+        assert batch.n_samples == 500
+        assert np.all(wf.constraint.validate_bits(batch.bits))
+
+    def test_cost_scales_with_ns_not_for_bas(self, wf):
+        """BAS cost is ~independent of N_s (the paper's headline claim)."""
+        import time
+
+        rng = np.random.default_rng(11)
+        t0 = time.perf_counter()
+        batch_autoregressive_sample(wf, 10**3, rng)
+        t_small = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batch_autoregressive_sample(wf, 10**9, rng)
+        t_big = time.perf_counter() - t0
+        # A factor-1e6 budget increase must cost far less than 1e6x time.
+        assert t_big < 50 * max(t_small, 1e-3)

@@ -1,0 +1,112 @@
+"""Tests for the high-level training orchestrator (Sec. 4.1 protocol)."""
+import json
+
+import numpy as np
+import pytest
+
+from repro.chem import build_problem, run_fci
+from repro.core import TrainConfig, Trainer, build_qiankunnet
+
+
+@pytest.fixture(scope="module")
+def h2():
+    prob = build_problem("H2", "sto-3g", r=0.7414)
+    fci = run_fci(prob.hamiltonian).energy
+    return prob, fci
+
+
+def make_trainer(prob, fci, tmp_path=None, **overrides):
+    defaults = dict(
+        max_iterations=40,
+        pretrain_steps=80,
+        ns_pretrain=10**5,
+        pretrain_iters=20,
+        warmup=100,
+        early_stop=False,
+        seed=11,
+    )
+    defaults.update(overrides)
+    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, d_model=8,
+                          n_heads=2, n_layers=1, phase_hidden=(16,), seed=12)
+    return Trainer(wf, prob.hamiltonian, TrainConfig(**defaults),
+                   hf_bits=prob.hf_bits, e_hf=prob.e_hf, e_reference=fci)
+
+
+class TestTrainerRun:
+    def test_basic_run_produces_report(self, h2):
+        prob, fci = h2
+        report = make_trainer(prob, fci).train()
+        assert report.iterations == 40
+        assert not report.stopped_early
+        assert np.isfinite(report.energy)
+        assert report.best_energy <= prob.e_hf + 0.1
+        assert report.error_vs_reference is not None
+        assert report.correlation_fraction is not None
+        assert report.wall_time > 0
+
+    def test_ns_schedule_grows_after_pretrain(self, h2):
+        prob, fci = h2
+        trainer = make_trainer(prob, fci, max_iterations=30, pretrain_iters=10,
+                               ns_growth=2.0, ns_max=10**7)
+        trainer.train()
+        ns = [s.n_samples for s in trainer.vmc.history]
+        assert all(n == 10**5 for n in ns[:10])       # flat pretrain stage
+        assert ns[-1] == 10**7                        # capped growth stage
+        assert ns[10] < ns[15] <= ns[-1]
+
+    def test_summary_renders(self, h2):
+        prob, fci = h2
+        report = make_trainer(prob, fci, max_iterations=25).train()
+        text = report.summary()
+        assert "final energy" in text and "wall time" in text
+
+    def test_report_without_references(self, h2):
+        prob, _ = h2
+        wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, d_model=8,
+                              n_heads=2, n_layers=1, phase_hidden=(16,), seed=13)
+        trainer = Trainer(wf, prob.hamiltonian,
+                          TrainConfig(max_iterations=10, pretrain_steps=0,
+                                      early_stop=False, warmup=100, seed=14))
+        report = trainer.train()
+        assert report.error_vs_reference is None
+        assert report.correlation_fraction is None
+
+
+class TestTrainerPersistence:
+    def test_json_log_written(self, h2, tmp_path):
+        prob, fci = h2
+        log = tmp_path / "run.jsonl"
+        make_trainer(prob, fci, max_iterations=12, log_path=log).train()
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert lines[0]["event"] == "pretrain"
+        iters = [l["iteration"] for l in lines[1:]]
+        assert iters == list(range(1, 13))
+        assert all("energy" in l and "n_unique" in l for l in lines[1:])
+
+    def test_checkpoint_and_resume(self, h2, tmp_path):
+        prob, fci = h2
+        ckpt = tmp_path / "state.npz"
+        t1 = make_trainer(prob, fci, max_iterations=15, checkpoint_every=5,
+                          checkpoint_path=ckpt)
+        t1.train()
+        assert ckpt.exists()
+
+        # Resume into a fresh trainer; iteration counter must carry over and
+        # the restored parameters must reproduce the same wave function.
+        t2 = make_trainer(prob, fci, max_iterations=20, checkpoint_path=ckpt)
+        t2.resume(ckpt)
+        assert t2.vmc.iteration == 15
+        np.testing.assert_allclose(t2.wf.get_flat_params(),
+                                   t1.wf.get_flat_params(), atol=1e-12)
+        report = t2.train()
+        assert report.iterations == 20
+
+    def test_early_stop_on_plateau(self, h2):
+        prob, fci = h2
+        # Tiny plateau window + huge tolerance: stops as soon as allowed.
+        trainer = make_trainer(prob, fci, max_iterations=300, early_stop=True,
+                               plateau_window=5, plateau_rel_tol=10.0,
+                               pretrain_iters=5)
+        report = trainer.train()
+        assert report.stopped_early
+        assert report.iterations <= 5 + 2 * 5 + 1
