@@ -205,11 +205,21 @@ def local_energy_sa_fuse(
     yz_bits = _unpack(comp.yz_buf, n)             # (K, N) uint8 sign masks
     idxs = comp.idxs
     coeffs = comp.coeffs_buf
-    # Boolean-keyed amplitude map (bytes of the uint8 bit array).
+    # Boolean-keyed amplitude map (bytes of the uint8 bit array): repack the
+    # integer keys into (U, W) uint64 words, then one vectorized unpack —
+    # O(U*W) word extractions instead of O(U*N) per-bit Python work.
     bool_dict: dict[bytes, complex] = {}
-    for key_int, la in amp_dict.items():
-        bits = np.array([(key_int >> j) & 1 for j in range(n)], dtype=np.uint8)
-        bool_dict[bits.tobytes()] = la
+    if amp_dict:
+        items = list(amp_dict.items())
+        key_arr = np.array([k for k, _ in items], dtype=object)
+        n_words = (n + 63) // 64
+        mask64 = (1 << 64) - 1
+        packed = np.zeros((len(items), n_words), dtype=np.uint64)
+        for w in range(n_words):
+            packed[:, w] = ((key_arr >> (64 * w)) & mask64).astype(np.uint64)
+        key_bits = _unpack(packed, n)             # (U, N) uint8, vectorized
+        for i, (_, la) in enumerate(items):
+            bool_dict[key_bits[i].tobytes()] = la
     eloc = np.zeros(batch.n_unique, dtype=np.complex128)
     for s in range(batch.n_unique):
         x_bits = batch.bits[s]

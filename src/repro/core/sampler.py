@@ -9,12 +9,21 @@ samples with their occurrence counts — N_s can be astronomically large (the
 paper uses up to 1e12) at a cost that depends only on the number of unique
 prefixes per layer.
 
+Each local sampling step is *incremental*: the tree state carries an
+inference session (per-layer KV caches, one row per unique prefix) so step k
+costs O(k) attention work instead of re-running the full transformer over
+the prefix (O(k^2) per layer).  When prefixes branch at
+``np.nonzero(counts)`` the cache rows are gathered/duplicated along with
+them, and pruned zero-weight children drop their rows.  ``use_cache=False``
+forces the retained full-forward oracle path (the training-time numerics)
+for testing and benchmarking.
+
 ``SampleBatch`` is the data-centric unit handed to the local-energy kernel
 and the gradient step (Fig. 4): unique bitstrings, weights, and nothing else.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -44,24 +53,43 @@ class SampleBatch:
 
 @dataclass
 class BASTreeState:
-    """An intermediate layer of the BAS tree (used by the parallel splitter)."""
+    """An intermediate layer of the BAS tree (used by the parallel splitter).
+
+    ``session`` is the incremental-decoding state whose cache rows are
+    aligned with ``prefixes`` (invariant: the session has consumed inputs
+    for positions ``< step``, i.e. BOS plus all but the last prefix column).
+    A state without a session (e.g. rebuilt after a parallel split shipped
+    it across ranks) is resumed by prefilling the caches from the prefix.
+    """
 
     prefixes: np.ndarray   # (P, k) tokens
     weights: np.ndarray    # (P,) int64
     counts_up: np.ndarray  # (P,)
     counts_dn: np.ndarray  # (P,)
     step: int
+    session: object | None = field(default=None, repr=False, compare=False)
 
 
 def autoregressive_sample(wf: NNQSWavefunction, n_samples: int,
-                          rng: np.random.Generator) -> SampleBatch:
-    """Fig. 3(a): one sample per run — the O(N_s N^3) reference algorithm."""
+                          rng: np.random.Generator,
+                          use_cache: bool = True) -> SampleBatch:
+    """Fig. 3(a): one sample per run — the O(N_s N^3) reference algorithm.
+
+    With ``use_cache`` (default) a single session of ``n_samples`` rows is
+    decoded incrementally; ``use_cache=False`` re-runs the full forward at
+    every step (the pre-cache oracle path).
+    """
     t = wf.n_tokens
     tokens = np.zeros((n_samples, 0), dtype=np.int64)
     cu = np.zeros(n_samples, dtype=np.int64)
     cd = np.zeros(n_samples, dtype=np.int64)
+    session = wf.make_session(n_samples) if use_cache else None
     for step in range(t):
-        probs = wf.conditional_probs(tokens, cu, cd)  # (B, vocab)
+        if session is not None:
+            logits = session.step(tokens[:, -1] if step > 0 else None)
+            probs = wf.probs_from_logits(logits, cu, cd, step)
+        else:
+            probs = wf.conditional_probs_reference(tokens, cu, cd)  # (B, vocab)
         u = rng.random((n_samples, 1))
         choice = (probs.cumsum(axis=1) < u).sum(axis=1)
         choice = np.minimum(choice, wf.vocab_size - 1)
@@ -78,29 +106,91 @@ def autoregressive_sample(wf: NNQSWavefunction, n_samples: int,
 
 def _multinomial_rows(rng: np.random.Generator, weights: np.ndarray,
                       probs: np.ndarray) -> np.ndarray:
-    """Split each integer weight among the outcomes of its probability row."""
-    out = np.zeros(probs.shape, dtype=np.int64)
-    for i in range(len(weights)):  # rows are few (unique prefixes), keep simple
-        out[i] = rng.multinomial(int(weights[i]), probs[i])
-    return out
+    """Split each integer weight among the outcomes of its probability row.
+
+    One batched draw: ``Generator.multinomial`` broadcasts row-wise and
+    consumes the bit stream in the same order as a per-row Python loop, so
+    seeded results are unchanged from the scalar implementation.
+    """
+    if len(weights) == 0:
+        return np.zeros(probs.shape, dtype=np.int64)
+    return rng.multinomial(weights.astype(np.int64), probs).astype(np.int64)
+
+
+def _estimated_cache_bytes(wf: NNQSWavefunction, n_rows: int, length: int) -> int:
+    """Projected session-cache footprint of ``n_rows`` prefixes, ``length`` tokens.
+
+    Delegates to the amplitude's ``cache_bytes`` (the class that owns the
+    cache layout); amplitudes without one (fallback sessions store tokens
+    only) are treated as free.
+    """
+    cache_bytes = getattr(wf.amplitude, "cache_bytes", None)
+    return 0 if cache_bytes is None else cache_bytes(n_rows, length)
 
 
 def _bas_step(wf: NNQSWavefunction, state: BASTreeState,
-              rng: np.random.Generator) -> BASTreeState:
-    """One local sampling step: expand every prefix, prune zero weights."""
-    probs = wf.conditional_probs(state.prefixes, state.counts_up, state.counts_dn)
+              rng: np.random.Generator, use_cache: bool = True,
+              cache_budget_bytes: int | None = None) -> BASTreeState:
+    """One local sampling step: expand every prefix, prune zero weights.
+
+    The returned state's session rows are gathered with ``parent_idx`` so
+    branched prefixes duplicate their parent's KV cache rows and pruned
+    children (zero weight) drop theirs.  When ``cache_budget_bytes`` is set
+    and the projected cache footprint of this layer exceeds it, the step
+    drops the session and computes the conditionals with a one-shot numpy
+    prefill instead — O(k^2) per step again, but with only transient memory
+    (the escape hatch for huge-N_u layers; see DESIGN.md).
+    """
+    if use_cache:
+        session = state.session
+        over_budget = cache_budget_bytes is not None and _estimated_cache_bytes(
+            wf, len(state.weights), state.step + 1
+        ) > cache_budget_bytes
+        if session is not None:
+            # A carried session is always cheapest to use (O(k) step); the
+            # budget only decides whether its caches are *retained* below.
+            logits = session.step(state.prefixes[:, -1] if state.step > 0 else None)
+            probs = wf.probs_from_logits(logits, state.counts_up, state.counts_dn,
+                                         state.step)
+        elif over_budget:
+            # No caches to reuse and retaining new ones would bust the
+            # budget: one-shot transient prefill, keep nothing.
+            probs = wf.conditional_probs(
+                state.prefixes, state.counts_up, state.counts_dn
+            )
+        else:
+            # Fresh root, or a mid-tree state that lost its session (e.g.
+            # shipped across ranks by the Fig. 5 splitter, or dropped by
+            # the cache budget): batched prefill, caches retained.
+            session = wf.make_session(len(state.weights))
+            logits = session.prefill(state.prefixes)
+            probs = wf.probs_from_logits(logits, state.counts_up, state.counts_dn,
+                                         state.step)
+    else:
+        session = None
+        probs = wf.conditional_probs_reference(
+            state.prefixes, state.counts_up, state.counts_dn
+        )
     counts = _multinomial_rows(rng, state.weights, probs)  # (P, vocab)
     parent_idx, token = np.nonzero(counts)
     new_prefixes = np.concatenate(
         [state.prefixes[parent_idx], token[:, None]], axis=1
     )
     du, dd = wf.sector_counts(token[:, None].astype(np.int64))
+    if session is not None and cache_budget_bytes is not None and _estimated_cache_bytes(
+        wf, len(parent_idx), state.step + 1
+    ) > cache_budget_bytes:
+        # Branching multiplied the rows (up to x vocab) past the budget:
+        # don't retain the gathered caches; the next step prefills or falls
+        # back under its own budget check.
+        session = None
     return BASTreeState(
         prefixes=new_prefixes,
         weights=counts[parent_idx, token],
         counts_up=state.counts_up[parent_idx] + du,
         counts_dn=state.counts_dn[parent_idx] + dd,
         step=state.step + 1,
+        session=session.select(parent_idx) if session is not None else None,
     )
 
 
@@ -120,12 +210,17 @@ def batch_autoregressive_sample(
     n_samples: int,
     rng: np.random.Generator,
     start: BASTreeState | None = None,
+    use_cache: bool = True,
+    cache_budget_bytes: int | None = None,
 ) -> SampleBatch:
     """Fig. 3(b): generate N_s samples in one tree sweep, cost ~ O(N_u N^3/3).
 
     ``start`` allows resuming from a mid-tree state — the hook used by the
     parallel BAS of Fig. 5, where ranks share the first k steps and then
-    continue on disjoint subsets of the layer-k nodes.
+    continue on disjoint subsets of the layer-k nodes.  A resumed state
+    reuses its carried inference session when present, otherwise the caches
+    are rebuilt with one batched prefill.  ``use_cache=False`` runs the
+    retained full-forward oracle path.
     """
     state = start
     if state is None:
@@ -137,8 +232,13 @@ def batch_autoregressive_sample(
             counts_dn=state.counts_dn,
             step=0,
         )
+    elif use_cache and state.session is not None:
+        # Stepping mutates a session in place (cache append + position
+        # advance): work on a copy so the caller's state stays resumable.
+        state = replace(state, session=state.session.copy())
     while state.step < wf.n_tokens:
-        state = _bas_step(wf, state, rng)
+        state = _bas_step(wf, state, rng, use_cache=use_cache,
+                          cache_budget_bytes=cache_budget_bytes)
     bits = wf.tokens_to_bits(state.prefixes)
     return SampleBatch(bits=bits, weights=state.weights.copy())
 
@@ -148,12 +248,16 @@ def bas_prefix_sweep(
     n_samples: int,
     rng: np.random.Generator,
     stop_unique: int,
+    use_cache: bool = True,
+    cache_budget_bytes: int | None = None,
 ) -> BASTreeState:
     """Run BAS until the layer holds >= stop_unique nodes (or the tree ends).
 
     This implements the paper's dynamic choice of the split step k: "we set a
     threshold N_u^* and choose k to be the first local sampling step such that
     the current number of unique samples N_{u,k} is larger than N_u^*".
+    The returned state carries its inference session, so continuing the sweep
+    (``batch_autoregressive_sample(..., start=state)``) keeps the KV caches.
     """
     state = initial_tree_state()
     state = BASTreeState(
@@ -164,5 +268,6 @@ def bas_prefix_sweep(
         step=0,
     )
     while state.step < wf.n_tokens and len(state.weights) < stop_unique:
-        state = _bas_step(wf, state, rng)
+        state = _bas_step(wf, state, rng, use_cache=use_cache,
+                          cache_budget_bytes=cache_budget_bytes)
     return state

@@ -19,6 +19,7 @@ import numpy as np
 from repro.autograd import Tensor, no_grad
 from repro.core.constraints import ParticleNumberConstraint
 from repro.nn import MADEAmplitude, Module, NAQSMLPAmplitude, PhaseMLP, TransformerAmplitude
+from repro.nn.inference import make_inference_session, padded_next_logits
 
 __all__ = ["NNQSWavefunction", "build_qiankunnet"]
 
@@ -104,28 +105,52 @@ class NNQSWavefunction(Module):
             phi = self.phase_of(bits).data
         return 0.5 * logp + 1j * phi
 
-    def conditional_probs(self, prefix_tokens: np.ndarray,
-                          counts_up: np.ndarray, counts_dn: np.ndarray) -> np.ndarray:
-        """(B, vocab) masked, renormalized pi(x_k | prefix) — sampler hot path.
+    def make_session(self, batch_size: int = 1):
+        """Open an incremental decoding session on the amplitude network.
 
-        ``prefix_tokens``: (B, k) observed tokens; counts are the electrons
-        already placed (computed incrementally by the sampler to avoid
-        rescanning prefixes).
+        Transformer amplitudes get a KV-cached session (O(k) per step);
+        fixed-width ansätze (MADE, NAQS-MLP) get the recompute fallback with
+        the same interface.  Sessions are the sampler's hot path — see
+        DESIGN.md for the architecture.
         """
-        b, k = prefix_tokens.shape
-        # MADE / NAQS-MLP have fixed input width; the transformer accepts any
-        # prefix length (cheaper: O(k^2) instead of O(T^2) per step).
-        length = self.n_tokens if getattr(self.amplitude, "fixed_length", False) else k + 1
-        padded = np.zeros((b, length), dtype=np.int64)
-        padded[:, :k] = prefix_tokens
-        with no_grad():
-            logits = self.amplitude.conditional_logits(padded).data[:, k, :]
+        return make_inference_session(self.amplitude, batch_size)
+
+    def probs_from_logits(self, logits: np.ndarray, counts_up: np.ndarray,
+                          counts_dn: np.ndarray, step: int) -> np.ndarray:
+        """Constrain + renormalize raw next-token logits into (B, vocab) probs."""
         if self.constraint is not None:
-            allowed = self.constraint.mask_for_step(counts_up, counts_dn, k)
+            allowed = self.constraint.mask_for_step(counts_up, counts_dn, step)
             logits = np.where(allowed, logits, _MASK_VALUE)
         logits = logits - logits.max(axis=1, keepdims=True)
         p = np.exp(logits)
         return p / p.sum(axis=1, keepdims=True)
+
+    def conditional_probs(self, prefix_tokens: np.ndarray,
+                          counts_up: np.ndarray, counts_dn: np.ndarray) -> np.ndarray:
+        """(B, vocab) masked, renormalized pi(x_k | prefix) — sampler hot path.
+
+        Drives a one-shot inference session (``prefill`` over the prefix);
+        callers that sample many steps should hold a session themselves so
+        the KV caches persist across steps (see ``core/sampler.py``).
+        """
+        b, k = prefix_tokens.shape
+        session = self.make_session(b)
+        logits = session.prefill(prefix_tokens)
+        return self.probs_from_logits(logits, counts_up, counts_dn, k)
+
+    def conditional_probs_reference(self, prefix_tokens: np.ndarray,
+                                    counts_up: np.ndarray,
+                                    counts_dn: np.ndarray) -> np.ndarray:
+        """Full-forward oracle for :meth:`conditional_probs` (pre-cache path).
+
+        Runs the differentiable ``conditional_logits`` graph under
+        ``no_grad`` — the numerics of the training-time code path.  Retained
+        as the correctness oracle for the incremental engine (tests,
+        benchmarks, and the ``use_cache=False`` sampler paths).
+        """
+        k = prefix_tokens.shape[1]
+        logits = padded_next_logits(self.amplitude, prefix_tokens)
+        return self.probs_from_logits(logits, counts_up, counts_dn, k)
 
     def sector_counts(self, tokens_prefix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(up, dn) electron counts contained in a token prefix."""

@@ -1,6 +1,12 @@
 """Neural-network building blocks (the torch.nn substitute)."""
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
+from repro.nn.inference import (
+    FallbackInferenceSession,
+    KVCache,
+    TransformerInferenceSession,
+    make_inference_session,
+)
 from repro.nn.attention import CausalSelfAttention, DecoderLayer, FeedForward
 from repro.nn.transformer import TransformerAmplitude
 from repro.nn.phase import PhaseMLP
@@ -14,6 +20,10 @@ __all__ = [
     "LayerNorm",
     "Linear",
     "PositionalEmbedding",
+    "KVCache",
+    "TransformerInferenceSession",
+    "FallbackInferenceSession",
+    "make_inference_session",
     "CausalSelfAttention",
     "DecoderLayer",
     "FeedForward",

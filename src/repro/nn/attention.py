@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.nn.inference import KVCache, gelu_np, layer_norm_np, linear_np, softmax_np
 from repro.nn.layers import LayerNorm, Linear
 from repro.nn.module import Module
 
@@ -45,6 +46,34 @@ class CausalSelfAttention(Module):
         out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
         return self.proj(out)
 
+    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Incremental decode: attend ``t_new`` new positions against the cache.
+
+        ``x``: raw ``(batch, t_new, d_model)`` numpy activations.  The new
+        keys/values are appended to ``cache``; queries attend to every cached
+        position plus (causally) the other new positions, so a single call
+        with ``t_new == k`` on an empty cache is a batched prefill while
+        ``t_new == 1`` is one decoding step.  No autograd graph is built.
+        """
+        b, t_new, d = x.shape
+        h, dh = self.n_heads, self.d_head
+        t0 = cache.length
+        qkv = linear_np(x, self.qkv)
+        qkv = qkv.reshape(b, t_new, 3, h, dh).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        cache.append(k, v)
+        att = (q @ np.swapaxes(cache.k, -1, -2)) * (1.0 / np.sqrt(dh))
+        if t_new > 1:
+            # New position i (absolute t0+i) must not see absolute j > t0+i.
+            causal = np.triu(np.ones((t_new, t_new), dtype=bool), k=1)
+            mask = np.zeros((t_new, t0 + t_new), dtype=bool)
+            mask[:, t0:] = causal
+            att = np.where(mask, -1e30, att)
+        att = softmax_np(att, axis=-1)
+        out = att @ cache.v  # (b, h, t_new, dh)
+        out = out.transpose(0, 2, 1, 3).reshape(b, t_new, d)
+        return linear_np(out, self.proj)
+
 
 class FeedForward(Module):
     """Position-wise feed-forward network (d_model -> 4 d_model -> d_model)."""
@@ -58,6 +87,10 @@ class FeedForward(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.fc2(self.fc1(x).gelu())
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        """Stateless numpy twin of ``forward`` for the inference sessions."""
+        return linear_np(gelu_np(linear_np(x, self.fc1)), self.fc2)
 
 
 class DecoderLayer(Module):
@@ -74,4 +107,10 @@ class DecoderLayer(Module):
     def forward(self, x: Tensor) -> Tensor:
         x = x + self.attn(self.ln1(x))
         x = x + self.ff(self.ln2(x))
+        return x
+
+    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Incremental decode of ``t_new`` new positions through the block."""
+        x = x + self.attn.step(layer_norm_np(x, self.ln1), cache)
+        x = x + self.ff.step(layer_norm_np(x, self.ln2))
         return x

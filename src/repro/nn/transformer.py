@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.nn.attention import DecoderLayer
+from repro.nn.inference import TransformerInferenceSession, layer_norm_np, linear_np
 from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
 from repro.nn.module import Module
 
@@ -67,3 +68,62 @@ class TransformerAmplitude(Module):
         for layer in self.layers:
             x = layer(x)
         return self.head(self.ln_f(x))
+
+    # ------------------------------------------------- incremental decoding
+    def make_session(self, batch_size: int = 1) -> TransformerInferenceSession:
+        """Open a KV-cached decoding session (see repro.nn.inference)."""
+        return TransformerInferenceSession(self, batch_size)
+
+    def cache_bytes(self, n_rows: int, length: int) -> int:
+        """Session-cache footprint of ``n_rows`` prefixes of ``length`` tokens:
+        one float64 K and V array of ``length * d_model`` per layer and row."""
+        return n_rows * len(self.layers) * 2 * length * self.d_model * 8
+
+    def _decode(self, inputs: np.ndarray,
+                session: TransformerInferenceSession) -> np.ndarray:
+        """Run ``(batch, t_new)`` *input* tokens through the cached stack.
+
+        Inputs are already shifted (BOS first); returns the ``(batch, vocab)``
+        logits of the last new position.  Pure numpy, no autograd graph.
+        """
+        b, t_new = inputs.shape
+        pos = session.pos
+        # Valid inputs are BOS + the first n_tokens-1 tokens; one more step
+        # would read the never-trained extra positional-embedding row.
+        if pos + t_new > self.n_tokens:
+            raise ValueError(
+                f"decoding past the model's {self.n_tokens}-token sequence "
+                f"(position {pos + t_new - 1})"
+            )
+        x = self.tok_emb.weight.data[inputs] + self.pos_emb.weight.data[pos:pos + t_new]
+        for layer, cache in zip(self.layers, session.caches):
+            x = layer.step(x, cache)
+        session.pos = pos + t_new
+        logits = linear_np(layer_norm_np(x[:, -1:, :], self.ln_f), self.head)
+        return logits[:, 0, :]
+
+    def step(self, prev_tokens: np.ndarray | None,
+             session: TransformerInferenceSession) -> np.ndarray:
+        """Consume one token per row; return next-position ``(batch, vocab)`` logits."""
+        if prev_tokens is None:
+            if session.pos != 0:
+                raise ValueError("prev_tokens required once the session has started")
+            inputs = np.full((session.batch_size, 1), self.bos, dtype=np.int64)
+        else:
+            if session.pos == 0:
+                raise ValueError(
+                    "the first step consumes BOS: call step(None) or prefill()"
+                )
+            inputs = np.asarray(prev_tokens, dtype=np.int64).reshape(-1, 1)
+        return self._decode(inputs, session)
+
+    def prefill(self, prefix_tokens: np.ndarray,
+                session: TransformerInferenceSession) -> np.ndarray:
+        """Build the session caches from a whole ``(batch, k)`` prefix at once."""
+        if session.pos != 0:
+            raise ValueError("prefill requires a fresh session")
+        prefix = np.asarray(prefix_tokens, dtype=np.int64)
+        if prefix.ndim == 1:
+            prefix = prefix[None, :]
+        bos = np.full((len(prefix), 1), self.bos, dtype=np.int64)
+        return self._decode(np.concatenate([bos, prefix], axis=1), session)

@@ -47,7 +47,12 @@ def balanced_weight_partition(weights: np.ndarray, n_parts: int) -> list[np.ndar
 
 
 def split_tree_state(state: BASTreeState, n_parts: int) -> list[BASTreeState]:
-    """Assign the layer-k nodes of a BAS tree to ``n_parts`` ranks."""
+    """Assign the layer-k nodes of a BAS tree to ``n_parts`` ranks.
+
+    The inference session's KV-cache rows (when the state carries one) are
+    gathered alongside the node arrays, so each rank continues its subtree
+    without re-running the shared first k steps.
+    """
     parts = balanced_weight_partition(state.weights, n_parts)
     out = []
     for idx in parts:
@@ -58,6 +63,7 @@ def split_tree_state(state: BASTreeState, n_parts: int) -> list[BASTreeState]:
                 counts_up=state.counts_up[idx],
                 counts_dn=state.counts_dn[idx],
                 step=state.step,
+                session=state.session.select(idx) if state.session is not None else None,
             )
         )
     return out

@@ -57,6 +57,7 @@ class TestEnergyConsistency:
         # (cross terms from the residual ~1% mass scale as its sqrt).
         assert stats.energy == pytest.approx(lih_problem.e_hf, abs=3e-2)
 
+    @pytest.mark.slow
     def test_vmc_beats_hf_quickly(self, lih_problem):
         fci = run_fci(lih_problem.hamiltonian).energy
         wf = build_qiankunnet(lih_problem.n_qubits, lih_problem.n_up,
@@ -95,6 +96,7 @@ class TestEnergyConsistency:
 
 
 class TestLargeSystemMachinery:
+    @pytest.mark.slow
     def test_56_qubit_sampling_and_packing(self):
         """Multiword (W=1? 56<64) and 92-qubit (W=2) code paths both work."""
         from repro.hamiltonian import synthetic_molecular_hamiltonian

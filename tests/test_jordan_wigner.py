@@ -114,6 +114,7 @@ class TestMolecularJW:
         # LiH/STO-3G FCI is about -7.8823 Ha at r = 1.5949 A.
         assert fci.energy == pytest.approx(-7.8823, abs=2e-3)
 
+    @pytest.mark.slow
     def test_hermiticity_of_dense_form(self, lih_problem):
         H = strings_to_matrix(lih_problem.hamiltonian.to_terms()[:50])
         np.testing.assert_allclose(H, H.conj().T, atol=1e-10)

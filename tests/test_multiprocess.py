@@ -7,6 +7,10 @@ import pytest
 
 from repro.parallel import run_spmd, run_spmd_processes
 
+# Process spawning is slow (and barrier-timeout recovery takes minutes on
+# constrained runners), so the whole module sits behind the slow marker.
+pytestmark = pytest.mark.slow
+
 
 class TestCollectives:
     def test_allgather_rank_order(self):

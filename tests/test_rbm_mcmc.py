@@ -66,6 +66,7 @@ class TestMetropolis:
         assert np.all(batch.bits[:, 1::2].sum(axis=1) == h2o_problem.n_dn)
         assert 0.0 <= stats.acceptance_rate <= 1.0
 
+    @pytest.mark.slow
     def test_distribution_matches_amplitudes(self, h2_problem):
         """Long chain frequencies converge to |Psi|^2 on the tiny H2 sector."""
         from tests.test_wavefunction import sector_bitstrings
@@ -87,6 +88,7 @@ class TestMetropolis:
 
 
 class TestRBMVMC:
+    @pytest.mark.slow
     def test_optimizes_h2(self, h2_problem):
         fci = run_fci(h2_problem.hamiltonian).energy
         wf = RBMWavefunction(4, alpha=2, rng=np.random.default_rng(8))
