@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""The serving layer end to end: train -> publish -> serve -> consume.
+
+A miniature version of the production loop the ROADMAP points at: a trainer
+optimizes the ansatz and publishes versioned snapshots to a ModelRegistry;
+a WavefunctionService serves the registry to concurrent consumers (here: a
+PES-style amplitude client, a sampling client, and a local-energy client)
+while training keeps publishing — clients pin the version they started
+with, so their amplitude ratios stay consistent mid-request-stream.
+
+Usage:  python examples/serve_demo.py [--clients 6] [--iters 8]
+"""
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import VMC, VMCConfig, build_problem, build_qiankunnet
+from repro.serve import ModelRegistry, ServeConfig, WavefunctionService
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clients", type=int, default=6)
+    ap.add_argument("--iters", type=int, default=8)
+    args = ap.parse_args()
+
+    prob = build_problem("H2", "sto-3g", r=0.7414)
+    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=3)
+    vmc = VMC(wf, prob.hamiltonian, VMCConfig(n_samples=2000, seed=5))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "models")
+        v0 = registry.publish(wf, metadata={"iteration": 0})
+        print(f"published initial snapshot as version {v0}")
+
+        service = WavefunctionService(
+            registry, hamiltonian=prob.hamiltonian,
+            config=ServeConfig(max_wait_ms=2.0),
+        ).start()
+        pinned = service.active_version()
+
+        # ----------------------------------------------- concurrent clients
+        stop = threading.Event()
+        counts = {"amplitudes": 0, "samples": 0, "local_energy": 0}
+
+        # Clients pace themselves (sleep between requests) so the demo's
+        # training thread is not starved of the GIL by pure request spin.
+        def amplitude_client() -> None:
+            rng = np.random.default_rng(0)
+            while not stop.is_set():
+                bits = rng.integers(0, 2, (2, prob.n_qubits)).astype(np.uint8)
+                service.log_amplitudes(bits, version=pinned)
+                counts["amplitudes"] += 1
+                time.sleep(0.01)
+
+        def sampling_client(seed: int) -> None:
+            while not stop.is_set():
+                service.sample(300, seed=seed, version=pinned)
+                counts["samples"] += 1
+                time.sleep(0.02)
+
+        def local_energy_client() -> None:
+            while not stop.is_set():
+                batch = service.sample(500, seed=7, version=pinned)
+                service.local_energy(batch, version=pinned)
+                counts["local_energy"] += 1
+                time.sleep(0.02)
+
+        workers = [threading.Thread(target=amplitude_client)
+                   for _ in range(max(args.clients - 2, 1))]
+        workers += [threading.Thread(target=sampling_client, args=(11,)),
+                    threading.Thread(target=local_energy_client)]
+        for w in workers:
+            w.start()
+
+        # ------------------------------- training publishes while they run
+        t0 = time.perf_counter()
+        for i in range(args.iters):
+            stats = vmc.step()
+            version = registry.publish(
+                wf, metadata={"iteration": stats.iteration,
+                              "energy": stats.energy}
+            )
+            print(f"iter {stats.iteration}: E = {stats.energy:+.6f} Ha "
+                  f"-> published version {version}")
+        service.refresh()
+        print(f"service now tracks version {service.active_version()} "
+              f"(clients stay pinned to {pinned})")
+
+        time.sleep(0.5)
+        stop.set()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - t0
+
+        s = service.stats()
+        print()
+        print(f"served during {wall:.1f}s of training:")
+        print(f"  amplitude requests    {counts['amplitudes']}")
+        print(f"  sampling requests     {counts['samples']}")
+        print(f"  local-energy requests {counts['local_energy']}")
+        print(f"  fused rows/batch      {s['batcher']['rows_per_batch']:.1f}")
+        pinned_stats = s["versions"][pinned]
+        print(f"  session pool          {pinned_stats['pool']}")
+        print(f"  amplitude table       {pinned_stats['table_entries']} entries "
+              f"(version {pinned} only — tables never cross versions)")
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

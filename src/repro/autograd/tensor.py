@@ -20,27 +20,39 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = [True]
+# Grad mode is per-thread (like torch): the serving layer runs inference
+# under no_grad on its scheduler thread while a trainer builds graphs on
+# another — a shared flag would silently untape the trainer's forward pass.
+_GRAD_STATE = threading.local()
+
+
+def _grad_stack() -> list[bool]:
+    stack = getattr(_GRAD_STATE, "stack", None)
+    if stack is None:
+        stack = _GRAD_STATE.stack = [True]
+    return stack
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    _GRAD_ENABLED.append(False)
+    stack = _grad_stack()
+    stack.append(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED.pop()
+        stack.pop()
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED[-1]
+    return _grad_stack()[-1]
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

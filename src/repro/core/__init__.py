@@ -12,6 +12,7 @@ from repro.core.local_energy import (
     AmplitudeTable,
     build_amplitude_table,
     extend_amplitude_table,
+    merge_amplitude_tables,
     local_energy,
     local_energy_baseline,
     local_energy_sa_fuse,
@@ -21,7 +22,12 @@ from repro.core.local_energy import (
 from repro.core.vmc import VMC, VMCConfig, VMCStats, default_ns_schedule
 from repro.core.pretrain import pretrain_to_reference
 from repro.core.mcmc import MCMCStats, RBMVMC, metropolis_sample
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    load_checkpoint,
+    load_model_snapshot,
+    save_checkpoint,
+    save_model_snapshot,
+)
 from repro.core.observables import (
     EstimateResult,
     ObservableSet,
@@ -54,6 +60,7 @@ __all__ = [
     "AmplitudeTable",
     "build_amplitude_table",
     "extend_amplitude_table",
+    "merge_amplitude_tables",
     "local_energy",
     "local_energy_baseline",
     "local_energy_sa_fuse",
@@ -69,6 +76,8 @@ __all__ = [
     "metropolis_sample",
     "load_checkpoint",
     "save_checkpoint",
+    "load_model_snapshot",
+    "save_model_snapshot",
     "EstimateResult",
     "ObservableSet",
     "estimate",

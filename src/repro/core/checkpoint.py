@@ -1,42 +1,165 @@
 """Checkpointing: save/restore wavefunction parameters and VMC state.
 
 Long VMC runs (the paper uses up to 1e5 iterations) need resumable state;
-the checkpoint stores the flat parameter vector, optimizer moments and the
-iteration counter in a single ``.npz`` file.
+the checkpoint stores the flat parameter vector, optimizer moments, the
+iteration counter, the stats history and the RNG bit-generator state in a
+single ``.npz`` file, so a resumed run continues bit-identically to an
+uninterrupted one.
+
+The *model snapshot* (``save_model_snapshot`` / ``load_model_snapshot``) is
+the wavefunction-only subset of the same format: flat parameters plus the
+``build_qiankunnet`` spec needed to rebuild the network from scratch.  It is
+the unit of exchange between training and the serving layer — the
+:class:`~repro.serve.ModelRegistry` stores one snapshot per published
+version, and ``save_checkpoint`` embeds the same fields so any checkpoint
+can be published directly.
 """
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.vmc import VMC
+from repro.core.vmc import VMC, VMCStats
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_model_snapshot",
+    "load_model_snapshot",
+    "snapshot_payload",
+    "restore_rng",
+]
+
+SNAPSHOT_FORMAT = 2  # bumped when the on-disk layout changes
+
+_HISTORY_FIELDS = (
+    "iteration", "energy", "variance", "n_unique", "n_samples", "lr", "eloc_imag",
+)
+
+
+# --------------------------------------------------------------- wavefunction
+def snapshot_payload(wf, metadata: dict | None = None) -> dict:
+    """The registry-compatible snapshot fields of one wavefunction.
+
+    Requires the wavefunction to carry a ``spec`` (recorded by
+    ``build_qiankunnet``) so :func:`load_model_snapshot` can rebuild the
+    network without any out-of-band information.
+    """
+    spec = getattr(wf, "spec", None)
+    if spec is None:
+        raise ValueError(
+            "wavefunction has no build spec; construct it with "
+            "build_qiankunnet (or set wf.spec) to make it snapshottable"
+        )
+    payload = {
+        "format": np.array(SNAPSHOT_FORMAT),
+        "params": wf.get_flat_params(),
+        "spec_json": np.array(json.dumps(spec)),
+    }
+    if metadata is not None:
+        payload["metadata_json"] = np.array(json.dumps(metadata))
+    return payload
+
+
+def save_model_snapshot(wf, path: str | Path, metadata: dict | None = None) -> None:
+    """Write a self-contained wavefunction snapshot (params + rebuild spec)."""
+    np.savez(Path(path), **snapshot_payload(wf, metadata))
+
+
+def load_model_snapshot(path: str | Path):
+    """Rebuild a wavefunction from a snapshot; returns ``(wf, metadata)``."""
+    from repro.core.wavefunction import build_qiankunnet
+
+    data = np.load(Path(path))
+    if "spec_json" not in data:
+        raise ValueError(f"{path} is not a model snapshot (no spec_json)")
+    spec = json.loads(data["spec_json"].item())
+    spec["phase_hidden"] = tuple(spec["phase_hidden"])
+    wf = build_qiankunnet(**spec)
+    wf.set_flat_params(data["params"])
+    metadata = (
+        json.loads(data["metadata_json"].item()) if "metadata_json" in data else {}
+    )
+    return wf, metadata
+
+
+# ------------------------------------------------------------------ VMC state
+def _rng_payload(rng: np.random.Generator) -> np.ndarray:
+    """JSON-serialized bit-generator state (PCG64 state ints are arbitrary
+    precision, so JSON — not a fixed-width array — is the right container)."""
+    return np.array(json.dumps(rng.bit_generator.state))
+
+
+def restore_rng(state_json: str) -> np.random.Generator:
+    """Rebuild a Generator whose stream continues exactly where it stopped."""
+    state = json.loads(state_json)
+    bit_gen = getattr(np.random, state["bit_generator"])()
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
 
 
 def save_checkpoint(vmc: VMC, path: str | Path) -> None:
     path = Path(path)
     opt = vmc.optimizer
     payload = {
-        "params": vmc.wf.get_flat_params(),
         "iteration": np.array(vmc.iteration),
         "opt_t": np.array(opt.t),
         "sched_i": np.array(vmc.schedule.i),
+        "rng_state": _rng_payload(vmc.rng),
+        # Legacy key, kept so pre-format-2 readers still find the curve.
         "energies": np.array([s.energy for s in vmc.history]),
     }
+    for f in _HISTORY_FIELDS:
+        payload[f"hist_{f}"] = np.array([getattr(s, f) for s in vmc.history])
     if opt._m is not None:
         payload["opt_m"] = np.concatenate([m.reshape(-1) for m in opt._m])
         payload["opt_v"] = np.concatenate([v.reshape(-1) for v in opt._v])
+    try:
+        payload.update(snapshot_payload(vmc.wf))
+    except ValueError:
+        # Hand-built wavefunction without a spec: still checkpointable,
+        # just not publishable to a model registry.
+        payload["params"] = vmc.wf.get_flat_params()
     np.savez(path, **payload)
 
 
+def _restore_history(vmc: VMC, data) -> None:
+    """Rebuild ``vmc.history`` so ``best_energy()`` sees pre-resume iterations."""
+    if "hist_energy" in data:
+        cols = {f: data[f"hist_{f}"] for f in _HISTORY_FIELDS}
+        vmc.history = [
+            VMCStats(
+                iteration=int(cols["iteration"][i]),
+                energy=float(cols["energy"][i]),
+                variance=float(cols["variance"][i]),
+                n_unique=int(cols["n_unique"][i]),
+                n_samples=int(cols["n_samples"][i]),
+                lr=float(cols["lr"][i]),
+                eloc_imag=float(cols["eloc_imag"][i]),
+            )
+            for i in range(len(cols["energy"]))
+        ]
+    elif "energies" in data:
+        # Pre-format-2 checkpoint: energies only — restore a minimal history
+        # (unknown variances are zero; best_energy's 1e-12 floor handles it).
+        vmc.history = [
+            VMCStats(iteration=i + 1, energy=float(e), variance=0.0,
+                     n_unique=0, n_samples=0, lr=0.0, eloc_imag=0.0)
+            for i, e in enumerate(data["energies"])
+        ]
+
+
 def load_checkpoint(vmc: VMC, path: str | Path) -> None:
-    """Restore parameters + optimizer state into an existing VMC driver."""
+    """Restore parameters, optimizer, RNG and history into an existing VMC."""
     data = np.load(Path(path))
     vmc.wf.set_flat_params(data["params"])
     vmc.iteration = int(data["iteration"])
     vmc.schedule.i = int(data["sched_i"])
+    _restore_history(vmc, data)
+    if "rng_state" in data:
+        vmc.rng = restore_rng(data["rng_state"].item())
     opt = vmc.optimizer
     opt.t = int(data["opt_t"])
     if "opt_m" in data:

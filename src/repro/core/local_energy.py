@@ -36,6 +36,7 @@ from repro.hamiltonian.compressed import (
     ReferenceHamiltonianData,
 )
 from repro.utils.bitstrings import (
+    keys_to_ints,
     lexsort_keys,
     pack_bits,
     parity64,
@@ -48,6 +49,7 @@ __all__ = [
     "AmplitudeTable",
     "build_amplitude_table",
     "extend_amplitude_table",
+    "merge_amplitude_tables",
     "local_energy_baseline",
     "local_energy_sa_fuse",
     "local_energy_sa_fuse_lut",
@@ -68,15 +70,13 @@ class AmplitudeTable:
         return len(self.log_amps)
 
     def to_dict(self) -> dict[int, complex]:
-        """Python-dict view (used by the non-LUT engines of Fig. 10)."""
-        out = {}
-        w = self.keys.shape[1]
-        for i in range(self.n_entries):
-            key = 0
-            for word in range(w):
-                key |= int(self.keys[i, word]) << (64 * word)
-            out[key] = self.log_amps[i]
-        return out
+        """Python-dict view (used by the non-LUT engines of Fig. 10).
+
+        Keys are packed with one vectorized shift-or pass per word
+        (:func:`~repro.utils.bitstrings.keys_to_ints`) instead of a
+        per-entry Python word loop; the mapping is unchanged.
+        """
+        return dict(zip(keys_to_ints(self.keys), self.log_amps))
 
 
 def build_amplitude_table(wf: NNQSWavefunction, batch: SampleBatch) -> AmplitudeTable:
@@ -85,6 +85,28 @@ def build_amplitude_table(wf: NNQSWavefunction, batch: SampleBatch) -> Amplitude
     log_amps = wf.log_amplitudes(batch.bits)
     order = lexsort_keys(keys)
     return AmplitudeTable(keys=keys[order], log_amps=log_amps[order])
+
+
+def merge_amplitude_tables(a: AmplitudeTable, b: AmplitudeTable) -> AmplitudeTable:
+    """Union of two amplitude tables (both must come from the same parameters).
+
+    Entries of ``a`` win on duplicate keys; the result is lexsorted and ready
+    for binary search.  This is the serving-layer primitive: the
+    :class:`~repro.serve.WavefunctionService` accumulates one table per model
+    version across ``local_energy`` requests, so amplitudes of previously seen
+    configurations are never recomputed.
+    """
+    if a.n_entries == 0:
+        return b
+    if b.n_entries == 0:
+        return a
+    dup = searchsorted_keys(a.keys, b.keys) >= 0
+    if np.all(dup):
+        return a
+    keys = np.concatenate([a.keys, b.keys[~dup]], axis=0)
+    amps = np.concatenate([a.log_amps, b.log_amps[~dup]])
+    order = lexsort_keys(keys)
+    return AmplitudeTable(keys=keys[order], log_amps=amps[order])
 
 
 def extend_amplitude_table(
@@ -173,17 +195,7 @@ def local_energy_baseline(
 # --------------------------------------------------------------------------
 def _int_views(comp: CompressedHamiltonian):
     """Python-int views of the compressed masks (for the scalar engines)."""
-    w = comp.xy_unique.shape[1]
-
-    def to_int(row) -> int:
-        v = 0
-        for word in range(w):
-            v |= int(row[word]) << (64 * word)
-        return v
-
-    xy = [to_int(comp.xy_unique[g]) for g in range(comp.n_groups)]
-    yz = [to_int(comp.yz_buf[k]) for k in range(comp.n_terms)]
-    return xy, yz
+    return keys_to_ints(comp.xy_unique), keys_to_ints(comp.yz_buf)
 
 
 def local_energy_sa_fuse(
@@ -250,13 +262,8 @@ def prepare_scalar_views(comp: CompressedHamiltonian, table: AmplitudeTable):
     (wf_lut) — the data layout of Algorithm 2.
     """
     xy, yz = _int_views(comp)
-    n_words = table.keys.shape[1]
-    id_lut = []
-    for i in range(table.n_entries):
-        v = 0
-        for w in range(n_words):
-            v |= int(table.keys[i, w]) << (64 * w)
-        id_lut.append(v)
+    # One vectorized shift-or pass over the key words (was a per-entry loop).
+    id_lut = keys_to_ints(table.keys)
     return xy, yz, id_lut, table.log_amps
 
 

@@ -44,6 +44,12 @@ class NNQSWavefunction(Module):
         self.constraint = constraint
         order = np.arange(self.n_tokens)
         self.order = order[::-1].copy() if reverse_order else order
+        # Rebuild recipe (set by build_qiankunnet) — makes the wavefunction
+        # snapshottable for the model registry (core/checkpoint.py).
+        self.spec: dict | None = None
+        # Serving-layer hook: when set, make_session() delegates here so a
+        # SessionPool (repro/serve/pool.py) can hand out recycled sessions.
+        self.session_factory = None
 
     # -------------------------------------------------------- token mapping
     def bits_to_tokens(self, bits: np.ndarray) -> np.ndarray:
@@ -111,8 +117,12 @@ class NNQSWavefunction(Module):
         Transformer amplitudes get a KV-cached session (O(k) per step);
         fixed-width ansätze (MADE, NAQS-MLP) get the recompute fallback with
         the same interface.  Sessions are the sampler's hot path — see
-        DESIGN.md for the architecture.
+        DESIGN.md for the architecture.  A ``session_factory`` hook (set by
+        the serving layer's session pool) intercepts creation; a recycled
+        session is reset first, so the numerics are those of a fresh one.
         """
+        if self.session_factory is not None:
+            return self.session_factory(batch_size)
         return make_inference_session(self.amplitude, batch_size)
 
     def probs_from_logits(self, logits: np.ndarray, counts_up: np.ndarray,
@@ -209,7 +219,22 @@ def build_qiankunnet(
         constraint = ParticleNumberConstraint(
             n_tokens, n_up, n_dn, vocab_size=vocab, pos_spin=pos_spin
         )
-    return NNQSWavefunction(
+    wf = NNQSWavefunction(
         n_qubits, amp, phase, constraint, token_bits=token_bits,
         reverse_order=reverse_order,
     )
+    wf.spec = {
+        "n_qubits": n_qubits,
+        "n_up": n_up,
+        "n_dn": n_dn,
+        "d_model": d_model,
+        "n_heads": n_heads,
+        "n_layers": n_layers,
+        "phase_hidden": list(phase_hidden),
+        "amplitude_type": amplitude_type,
+        "token_bits": token_bits,
+        "constrain": constrain,
+        "reverse_order": reverse_order,
+        "seed": seed,
+    }
+    return wf

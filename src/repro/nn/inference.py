@@ -193,6 +193,18 @@ class TransformerInferenceSession:
         ]
         return out
 
+    def reset(self, batch_size: int | None = None) -> "TransformerInferenceSession":
+        """Return the session to its fresh state (serving-layer pool hook).
+
+        A reset session is indistinguishable from a newly constructed one —
+        the pool's recycled sessions therefore keep sampling bit-identical.
+        """
+        if batch_size is not None:
+            self.batch_size = batch_size
+        self.pos = 0
+        self.caches = [KVCache() for _ in self.model.layers]
+        return self
+
 
 class FallbackInferenceSession:
     """Session protocol for fixed-input-width ansätze (MADE, NAQS-MLP).
@@ -259,6 +271,14 @@ class FallbackInferenceSession:
         out.tokens = self.tokens.copy()
         out._started = self._started
         return out
+
+    def reset(self, batch_size: int | None = None) -> "FallbackInferenceSession":
+        """Return the session to its fresh state (serving-layer pool hook)."""
+        if batch_size is not None:
+            self.batch_size = batch_size
+        self.tokens = np.zeros((self.batch_size, 0), dtype=np.int64)
+        self._started = False
+        return self
 
 
 def make_inference_session(amplitude, batch_size: int = 1):

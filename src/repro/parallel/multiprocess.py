@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.parallel.fake_mpi import CommStats, _payload_bytes
 
-__all__ = ["ProcessComm", "run_spmd_processes"]
+__all__ = ["ProcessComm", "run_spmd_processes", "ServiceClient", "run_service_clients"]
 
 
 class ProcessComm:
@@ -110,22 +110,36 @@ def _coordinator(parent_conns, stats: CommStats, stop_flag):
                 conn.send(replies[r])
 
 
-def run_spmd_processes(
-    size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0
-) -> tuple[list, CommStats]:
-    """Run ``fn(comm)`` as ``size`` forked processes; returns (results, stats).
+def _close_foreign_pipe_ends(rank: int, *pipe_lists) -> None:
+    """Drop a forked child's inherited copies of every other rank's pipes.
 
-    Rank return values are pickled back to the parent.  A rank exception is
-    re-raised in the parent (wrapped with the rank id).
+    Fork duplicates all pipe fds into every child; without this, a dead
+    rank's connection never reaches EOF (siblings still hold the write end)
+    and EOF-based liveness detection deadlocks.
+    """
+    for pipe_list in pipe_lists:
+        for i, (parent_end, child_end) in enumerate(pipe_list):
+            parent_end.close()
+            if i != rank:
+                child_end.close()
+
+
+def _fork_rank_workers(size: int, body: Callable[[int, object], object]):
+    """Fork ``size`` workers running ``body(rank, conn)`` with pipe hygiene.
+
+    Each worker reports ``("ok", result)`` or ``("error", message)`` on its
+    result pipe; the parent keeps only its own pipe ends, so a dead worker's
+    connections actually deliver EOF.  Returns
+    ``(parent_conns, result_conns, procs)``.
     """
     ctx = mp.get_context("fork")
     pipes = [ctx.Pipe() for _ in range(size)]
     result_pipes = [ctx.Pipe() for _ in range(size)]
 
     def worker(rank: int) -> None:
-        comm = ProcessComm(rank, size, pipes[rank][1])
+        _close_foreign_pipe_ends(rank, pipes, result_pipes)
         try:
-            out = fn(comm)
+            out = body(rank, pipes[rank][1])
             result_pipes[rank][1].send(("ok", out))
         except BaseException as exc:  # noqa: BLE001 - reraised in parent
             result_pipes[rank][1].send(("error", f"rank {rank}: {exc!r}"))
@@ -136,31 +150,156 @@ def run_spmd_processes(
     procs = [ctx.Process(target=worker, args=(r,)) for r in range(size)]
     for p in procs:
         p.start()
+    # The parent must drop its copies of the child ends, or a dead rank's
+    # pipe never reaches EOF and whoever reads it blocks forever.
+    for _, child_end in pipes:
+        child_end.close()
+    for _, child_end in result_pipes:
+        child_end.close()
+    return [c for c, _ in pipes], [c for c, _ in result_pipes], procs
 
-    stats = CommStats()
-    stop_flag = [False]
-    coord = threading.Thread(
-        target=_coordinator, args=([c for c, _ in pipes], stats, stop_flag)
-    )
-    coord.start()
 
-    results: list = [None] * size
+def _collect_rank_results(result_conns, procs, timeout: float):
+    """Gather per-rank results, then join/terminate; returns (results, error)."""
+    results: list = [None] * len(procs)
     error: str | None = None
-    for r in range(size):
-        if result_pipes[r][0].poll(timeout):
-            status, value = result_pipes[r][0].recv()
+    for r, conn in enumerate(result_conns):
+        if conn.poll(timeout):
+            try:
+                status, value = conn.recv()
+            except EOFError:
+                # A hard-killed worker (SIGKILL/OOM) closes its result pipe
+                # without ever sending: poll() sees the EOF as readability.
+                error = error or f"rank {r}: died without reporting a result"
+                continue
             if status == "ok":
                 results[r] = value
             else:
                 error = error or value
         else:
             error = error or f"rank {r}: timed out after {timeout}s"
-    stop_flag[0] = True
     for p in procs:
         p.join(timeout=10)
         if p.is_alive():  # pragma: no cover - cleanup path
             p.terminate()
+    return results, error
+
+
+def run_spmd_processes(
+    size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0
+) -> tuple[list, CommStats]:
+    """Run ``fn(comm)`` as ``size`` forked processes; returns (results, stats).
+
+    Rank return values are pickled back to the parent.  A rank exception is
+    re-raised in the parent (wrapped with the rank id).
+    """
+    parent_conns, result_conns, procs = _fork_rank_workers(
+        size, lambda rank, conn: fn(ProcessComm(rank, size, conn))
+    )
+    stats = CommStats()
+    stop_flag = [False]
+    # Daemon: a coordinator wedged on a half-dead rank set must never block
+    # interpreter shutdown (it is joined with a timeout below regardless).
+    coord = threading.Thread(
+        target=_coordinator, args=(parent_conns, stats, stop_flag),
+        daemon=True,
+    )
+    coord.start()
+
+    results, error = _collect_rank_results(result_conns, procs, timeout)
+    stop_flag[0] = True
     coord.join(timeout=10)
     if error is not None:
         raise RuntimeError(error)
     return results, stats
+
+
+# --------------------------------------------------------------------------
+# Serving-layer worker clients (repro.serve)
+# --------------------------------------------------------------------------
+class ServiceClient:
+    """Process-side proxy for a :class:`~repro.serve.WavefunctionService`.
+
+    Mirrors the service's synchronous request API over a pipe; the parent
+    runs one dispatcher thread per client, so requests from different worker
+    processes are in flight *concurrently* and coalesce in the service's
+    microbatcher exactly like same-process threads would.
+    """
+
+    def __init__(self, rank: int, conn):
+        self.rank = rank
+        self._conn = conn
+
+    def _call(self, op: str, *args, **kwargs):
+        self._conn.send((op, args, kwargs))
+        status, value = self._conn.recv()
+        if status == "error":
+            raise RuntimeError(value)
+        return value
+
+    def sample(self, n_samples: int, seed: int, version: int | None = None):
+        return self._call("sample", n_samples, seed, version)
+
+    def log_amplitudes(self, bits, version: int | None = None):
+        return self._call("log_amplitudes", bits, version)
+
+    def amplitudes(self, bits, version: int | None = None):
+        return self._call("amplitudes", bits, version)
+
+    def conditional_probs(self, prefix_tokens, counts_up, counts_dn,
+                          version: int | None = None):
+        return self._call("conditional_probs", prefix_tokens, counts_up,
+                          counts_dn, version)
+
+    def local_energy(self, batch, mode: str = "exact",
+                     version: int | None = None):
+        return self._call("local_energy", batch, mode, version)
+
+    def active_version(self):
+        return self._call("active_version")
+
+
+def _client_dispatcher(service, conn) -> None:
+    """Serve one worker's requests until it closes its end of the pipe."""
+    while True:
+        try:
+            op, args, kwargs = conn.recv()
+        except EOFError:
+            return
+        try:
+            result = getattr(service, op)(*args, **kwargs)
+            conn.send(("ok", result))
+        except Exception as exc:  # noqa: BLE001 - reraised client-side
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+def run_service_clients(
+    service, size: int, fn: Callable[[ServiceClient], object],
+    timeout: float = 600.0,
+) -> list:
+    """Fork ``size`` worker processes, each running ``fn(client)``.
+
+    The service object stays in the parent (models are not re-loaded per
+    worker); each worker drives it through a :class:`ServiceClient`.  One
+    parent dispatcher thread per worker submits into the service, so the
+    microbatcher sees genuinely concurrent cross-process traffic.  Returns
+    the per-rank results of ``fn``; a worker exception is re-raised in the
+    parent, wrapped with the rank id.
+    """
+    parent_conns, result_conns, procs = _fork_rank_workers(
+        size, lambda rank, conn: fn(ServiceClient(rank, conn))
+    )
+    dispatchers = [
+        threading.Thread(target=_client_dispatcher, args=(service, conn),
+                         daemon=True)
+        for conn in parent_conns
+    ]
+    for d in dispatchers:
+        d.start()
+
+    results, error = _collect_rank_results(result_conns, procs, timeout)
+    for d in dispatchers:
+        d.join(timeout=10)
+    if error is not None:
+        raise RuntimeError(error)
+    return results

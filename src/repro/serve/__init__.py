@@ -1,0 +1,38 @@
+"""The serving layer: concurrent wavefunction evaluation as a service.
+
+Turns a trained NNQS ansatz into a long-lived, versioned artifact that many
+concurrent consumers query — the production-inference shape the paper's
+batched sampler and amplitude LUT are already built for.  See DESIGN.md
+("Serving layer") for the architecture:
+
+* :class:`WavefunctionService` — request APIs (``sample``,
+  ``log_amplitudes``, ``conditional_probs``, ``local_energy``) behind a
+  microbatching scheduler;
+* :class:`MicroBatcher` — bounded-queue request coalescing with
+  latency/batch-size knobs and backpressure;
+* :class:`SessionPool` / :class:`PrefixSessionCache` — KV-cache reuse
+  across requests;
+* :class:`ModelRegistry` — versioned, immutable model snapshots; clients
+  pin a version while training publishes new ones.
+"""
+from repro.serve.pool import PrefixSessionCache, SessionPool
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import (
+    BatcherStats,
+    MicroBatcher,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.service import ServeConfig, WavefunctionService
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PrefixSessionCache",
+    "ServeConfig",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "SessionPool",
+    "WavefunctionService",
+]

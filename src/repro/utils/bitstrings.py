@@ -22,6 +22,7 @@ __all__ = [
     "parity64",
     "bits_to_int",
     "int_to_bits",
+    "keys_to_ints",
     "lexsort_keys",
     "searchsorted_keys",
 ]
@@ -87,6 +88,21 @@ def bits_to_int(bits) -> int:
 
 def int_to_bits(v: int, n: int) -> np.ndarray:
     return np.array([(v >> j) & 1 for j in range(n)], dtype=np.uint8)
+
+
+def keys_to_ints(keys: np.ndarray) -> list[int]:
+    """Collapse ``(batch, K)`` uint64 keys into arbitrary-precision Python ints.
+
+    One vectorized shift-or pass per word over an object-dtype view (word
+    ``w`` contributes bits ``64w..64w+63``), instead of a per-entry Python
+    loop.  The result matches ``bits_to_int`` on the unpacked configuration.
+    """
+    keys = np.atleast_2d(np.asarray(keys, dtype=np.uint64))
+    obj = keys.astype(object)  # Python ints: << never overflows
+    acc = obj[:, 0]
+    for w in range(1, keys.shape[1]):
+        acc = acc | (obj[:, w] << (64 * w))
+    return acc.tolist()
 
 
 def lexsort_keys(keys: np.ndarray) -> np.ndarray:

@@ -195,3 +195,33 @@ class TestGraphMechanics:
         out = (np.float64(2.0) * a).sum()
         out.backward()
         np.testing.assert_allclose(a.grad, 2.0)
+
+
+class TestGradModeThreadLocality:
+    def test_no_grad_is_per_thread(self):
+        """A serving thread under no_grad must not untape a training thread's
+        graph (regression: the grad flag used to be process-global)."""
+        import threading
+
+        from repro.autograd import no_grad
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def inference_thread():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=inference_thread)
+        t.start()
+        try:
+            assert entered.wait(timeout=10)
+            a = Tensor(np.ones(3), requires_grad=True)
+            out = (a * 2.0).sum()
+            assert out.requires_grad  # built while another thread is no_grad
+            out.backward()
+            np.testing.assert_allclose(a.grad, 2.0)
+        finally:
+            release.set()
+            t.join()

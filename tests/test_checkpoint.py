@@ -1,0 +1,145 @@
+"""Checkpoint round-trips: resumed runs must continue bit-identically.
+
+The satellite contract of the serving PR: ``load_checkpoint`` restores the
+stats history (so ``best_energy()`` sees pre-resume iterations) and the RNG
+bit-generator state (so the sample stream continues exactly where the saved
+run stopped).  The strongest possible check is therefore: save -> load into
+a *fresh* VMC -> the next ``step()`` produces bit-identical stats to the
+uninterrupted run, for every ansatz.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VMC, VMCConfig, build_qiankunnet, load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    load_model_snapshot,
+    restore_rng,
+    save_model_snapshot,
+)
+
+ANSATZE = ["transformer", "made", "naqs-mlp"]
+
+
+def _fresh_vmc(problem, amplitude_type: str) -> VMC:
+    wf = build_qiankunnet(4, 1, 1, amplitude_type=amplitude_type, seed=12)
+    return VMC(wf, problem.hamiltonian,
+               VMCConfig(n_samples=1500, eloc_mode="exact", seed=13))
+
+
+class TestResume:
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_next_step_bit_identical(self, h2_problem, tmp_path, amplitude_type):
+        path = tmp_path / "ck.npz"
+        uninterrupted = _fresh_vmc(h2_problem, amplitude_type)
+        uninterrupted.run(3)
+        save_checkpoint(uninterrupted, path)
+        expected = uninterrupted.step()
+
+        resumed = _fresh_vmc(h2_problem, amplitude_type)
+        load_checkpoint(resumed, path)
+        got = resumed.step()
+
+        # VMCStats is a dataclass of floats/ints: equality is bitwise.
+        assert got == expected
+        assert resumed.iteration == uninterrupted.iteration
+
+    def test_history_restored_for_best_energy(self, h2_problem, tmp_path):
+        path = tmp_path / "ck.npz"
+        vmc = _fresh_vmc(h2_problem, "made")
+        vmc.run(4)
+        save_checkpoint(vmc, path)
+
+        resumed = _fresh_vmc(h2_problem, "made")
+        load_checkpoint(resumed, path)
+        # Pre-fix this raised (empty history) or silently ignored the
+        # pre-resume iterations.
+        assert len(resumed.history) == 4
+        assert resumed.best_energy() == vmc.best_energy()
+        assert [s.energy for s in resumed.history] == [s.energy for s in vmc.history]
+        assert [s.variance for s in resumed.history] == [
+            s.variance for s in vmc.history
+        ]
+
+    def test_rng_stream_continues(self, h2_problem, tmp_path):
+        path = tmp_path / "ck.npz"
+        vmc = _fresh_vmc(h2_problem, "transformer")
+        vmc.run(2)
+        expected_draw = None
+        save_checkpoint(vmc, path)
+        expected_draw = vmc.rng.random(8)
+
+        resumed = _fresh_vmc(h2_problem, "transformer")
+        load_checkpoint(resumed, path)
+        np.testing.assert_array_equal(resumed.rng.random(8), expected_draw)
+
+    def test_legacy_checkpoint_still_loads(self, h2_problem, tmp_path):
+        """A pre-format-2 file (no history columns, no RNG state) loads with a
+        minimal reconstructed history."""
+        path = tmp_path / "legacy.npz"
+        vmc = _fresh_vmc(h2_problem, "made")
+        vmc.run(2)
+        np.savez(
+            path,
+            params=vmc.wf.get_flat_params(),
+            iteration=np.array(vmc.iteration),
+            opt_t=np.array(vmc.optimizer.t),
+            sched_i=np.array(vmc.schedule.i),
+            energies=np.array([s.energy for s in vmc.history]),
+        )
+        resumed = _fresh_vmc(h2_problem, "made")
+        load_checkpoint(resumed, path)
+        assert len(resumed.history) == 2
+        assert resumed.best_energy() == pytest.approx(
+            np.mean([s.energy for s in vmc.history])
+        )
+
+
+class TestRngPayload:
+    def test_restore_rng_roundtrip(self):
+        import json
+
+        rng = np.random.default_rng(99)
+        rng.random(13)  # advance
+        state = json.dumps(rng.bit_generator.state)
+        clone = restore_rng(state)
+        np.testing.assert_array_equal(clone.random(16), rng.random(16))
+
+
+class TestModelSnapshot:
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_roundtrip_rebuilds_identical_network(self, tmp_path, amplitude_type):
+        wf = build_qiankunnet(8, 2, 2, amplitude_type=amplitude_type, seed=5)
+        # Perturb away from the seed init so params, not the spec seed,
+        # must carry the state.
+        wf.set_flat_params(wf.get_flat_params() + 0.01)
+        path = tmp_path / "snap.npz"
+        save_model_snapshot(wf, path, metadata={"iteration": 7})
+        clone, meta = load_model_snapshot(path)
+        assert meta == {"iteration": 7}
+        np.testing.assert_array_equal(
+            clone.get_flat_params(), wf.get_flat_params()
+        )
+        bits = np.random.default_rng(1).integers(0, 2, (6, 8)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            clone.log_amplitudes(bits), wf.log_amplitudes(bits)
+        )
+
+    def test_specless_wavefunction_rejected(self, tmp_path):
+        wf = build_qiankunnet(4, 1, 1)
+        wf.spec = None  # hand-built networks carry no rebuild recipe
+        with pytest.raises(ValueError, match="spec"):
+            save_model_snapshot(wf, tmp_path / "x.npz")
+
+    def test_checkpoint_is_publishable(self, h2_problem, tmp_path):
+        """save_checkpoint embeds the snapshot fields: a checkpoint file is
+        loadable as a model snapshot directly."""
+        vmc = _fresh_vmc(h2_problem, "transformer")
+        vmc.run(1)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(vmc, path)
+        clone, _ = load_model_snapshot(path)
+        np.testing.assert_array_equal(
+            clone.get_flat_params(), vmc.wf.get_flat_params()
+        )

@@ -23,6 +23,7 @@ CASES = [
     ("properties_demo.py", ["--iters", "5"]),
     ("sr_vs_adamw.py", ["--sr-iters", "3", "--adamw-iters", "5"]),
     ("active_space_n2.py", ["--iters", "5", "--bond-lengths", "1.0977"]),
+    ("serve_demo.py", ["--iters", "2", "--clients", "3"]),
 ]
 
 
