@@ -3,22 +3,33 @@
 
 Large molecules are routinely attacked by correlating only the chemically
 active orbitals: core orbitals are frozen into an effective one-body
-operator and high virtuals dropped (``mo_transform(n_frozen, n_active)``).
+operator and high virtuals dropped (``problem.n_frozen`` / ``n_active``).
 For N2/STO-3G the 2x1s cores are frozen and six orbitals around the Fermi
 level kept — a CAS(6 electrons, 6 orbitals) = 12-qubit problem capturing
 the triple-bond static correlation.
 
 The script compares HF / CASCI (exact in the window) / QiankunNet trained
-with the Sec. 4.1 protocol (`repro.core.trainer.Trainer`: warm start,
-growing N_s, plateau stop), at two bond lengths (equilibrium and stretched,
-where static correlation grows).
+with the Sec. 4.1 protocol, at two bond lengths (equilibrium and stretched,
+where static correlation grows).  Each point is one declarative
+:class:`~repro.api.RunSpec` — ``output.reference="fci"`` makes the driver
+compute the in-window CASCI energy and report the error against it.
 
 Usage:  python examples/active_space_n2.py [--iters 300] [--bond-lengths 1.0977 1.6]
 """
 import argparse
+import tempfile
 
+from repro.api import (
+    AnsatzSpec,
+    OptimizerSpec,
+    OutputSpec,
+    ProblemSpec,
+    RunSpec,
+    SamplingSpec,
+    TrainSpec,
+    run,
+)
 from repro.chem import build_problem, run_fci
-from repro.core import TrainConfig, Trainer, build_qiankunnet
 
 
 def run_point(r: float, iters: int) -> None:
@@ -30,20 +41,21 @@ def run_point(r: float, iters: int) -> None:
     print(f"  CASCI  {casci.energy:+.6f} Ha   "
           f"(window correlation {casci.energy - prob.e_hf:+.4f})")
 
-    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=21)
-    trainer = Trainer(
-        wf,
-        prob.hamiltonian,
-        TrainConfig(max_iterations=iters, pretrain_steps=150, warmup=200,
-                    pretrain_iters=50, ns_growth=1.05, ns_max=10**7,
-                    plateau_window=50, seed=22),
-        hf_bits=prob.hf_bits,
-        e_hf=prob.e_hf,
-        e_reference=casci.energy,
+    spec = RunSpec(
+        name=f"n2-cas66-r{r:.4f}",
+        problem=ProblemSpec(molecule="N2", basis="sto-3g", n_frozen=2,
+                            n_active=6, geometry={"r": r}),
+        ansatz=AnsatzSpec(name="transformer", seed=21),
+        optimizer=OptimizerSpec(name="adamw", warmup=200),
+        sampling=SamplingSpec(ns_growth=1.05, ns_max=10**7, pretrain_iters=50),
+        train=TrainSpec(max_iterations=iters, pretrain_steps=150,
+                        plateau_window=50, seed=22),
+        output=OutputSpec(reference="fci"),
     )
-    report = trainer.train()
-    print("  QiankunNet (Trainer):")
-    for line in report.summary().splitlines():
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run(spec, run_dir=f"{tmp}/run")
+    print("  QiankunNet (run(spec)):")
+    for line in result.report.summary().splitlines():
         print("    " + line)
 
 

@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
 """Compare amplitude ansatze: transformer (QiankunNet) vs MADE vs NAQS-MLP.
 
-All three plug into the same VMC / BAS / local-energy stack — the comparison
-distills the paper's Table 1 'NAQS vs MADE vs QiankunNet' columns into one
-run on LiH.
+All three plug into the same VMC / BAS / local-energy stack by *name* — the
+ansatz registry of :mod:`repro.api` makes the comparison a loop over specs
+that differ in a single string.  The comparison distills the paper's
+Table 1 'NAQS vs MADE vs QiankunNet' columns into one run on LiH.
 
 Usage:  python examples/ansatz_comparison.py [--molecule LiH] [--iters 200]
 """
 import argparse
+import tempfile
 
-from repro import VMC, VMCConfig, build_problem, build_qiankunnet, pretrain_to_reference
-from repro.chem import run_fci
+from repro.api import AnsatzSpec, ProblemSpec, RunSpec, run
+from repro.chem import build_problem, run_fci
 
 
 def main() -> None:
@@ -27,15 +29,23 @@ def main() -> None:
     print("ansatz       params   energy (Ha)    |E - FCI|")
     print("-" * 52)
     for kind in ("transformer", "made", "naqs-mlp"):
-        wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn,
-                              amplitude_type=kind, seed=7)
-        pretrain_to_reference(wf, prob.hf_bits, n_steps=150)
-        vmc = VMC(wf, prob.hamiltonian,
-                  VMCConfig(n_samples=10**5, eloc_mode="exact", warmup=200,
-                            seed=8))
-        vmc.run(args.iters)
-        e = vmc.best_energy()
-        print(f"{kind:<12} {wf.num_parameters():6d}   {e:+.6f}   {abs(e - fci):.2e}")
+        spec = RunSpec(
+            name=f"ansatz-{kind}",
+            problem=ProblemSpec(molecule=args.molecule, basis="sto-3g"),
+            ansatz=AnsatzSpec(name=kind, seed=7),
+        ).with_overrides({
+            "optimizer.warmup": 200,
+            "sampling.ns_max": 10**5,
+            "train.max_iterations": args.iters,
+            "train.pretrain_steps": 150,
+            "train.early_stop": False,
+            "train.seed": 8,
+        })
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run(spec, run_dir=f"{tmp}/run")
+        e = result.report.best_energy
+        n_params = result.wavefunction.num_parameters()
+        print(f"{kind:<12} {n_params:6d}   {e:+.6f}   {abs(e - fci):.2e}")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
 """Quickstart: solve H2/STO-3G with the transformer NNQS (QiankunNet).
 
-Runs the complete pipeline of the paper in under a minute:
-  integrals -> RHF -> Jordan-Wigner -> VMC with batch autoregressive sampling
-and compares the variational energy against HF, CCSD and FCI.
+Runs the complete pipeline of the paper in under a minute through the
+declarative experiment API:
+  RunSpec -> run(spec) -> report + artifact directory
+and compares the variational energy against HF, CCSD and FCI.  The same
+spec can be saved as JSON and driven from the CLI:
+  python -m repro run --spec my_spec.json
 
 Usage:  python examples/quickstart.py [--iters 400] [--bond-length 0.7414]
 """
 import argparse
+import tempfile
 
-from repro import VMC, VMCConfig, build_problem, build_qiankunnet, pretrain_to_reference
+from repro.api import (
+    AnsatzSpec,
+    OptimizerSpec,
+    ProblemSpec,
+    RunSpec,
+    SamplingSpec,
+    TrainSpec,
+    run,
+)
 from repro.chem import (
+    build_problem,
     compute_integrals,
     make_molecule,
     mo_transform,
@@ -36,23 +49,33 @@ def main() -> None:
     scf = run_rhf(ints)
     ccsd = run_ccsd(to_spin_orbitals(mo_transform(ints, scf))).energy
 
-    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=1)
-    print(f"QiankunNet: {wf.num_parameters()} parameters "
-          f"(transformer amplitude + MLP phase)")
-    pretrain_to_reference(wf, prob.hf_bits, n_steps=100)
+    spec = RunSpec(
+        name="quickstart-h2",
+        problem=ProblemSpec(molecule="H2", basis="sto-3g",
+                            geometry={"r": args.bond_length}),
+        ansatz=AnsatzSpec(name="transformer", seed=1),
+        optimizer=OptimizerSpec(name="adamw", warmup=200),
+        sampling=SamplingSpec(ns_pretrain=10**5, ns_max=10**5),
+        train=TrainSpec(max_iterations=args.iters, pretrain_steps=100,
+                        early_stop=False, seed=2),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run(spec, run_dir=f"{tmp}/run",
+                     overrides={"output.log_every": max(args.iters // 8, 1)})
+        wf = result.wavefunction
+        print(f"QiankunNet: {wf.num_parameters()} parameters "
+              f"(transformer amplitude + MLP phase)")
+        e_vmc = result.report.best_energy
 
-    vmc = VMC(wf, prob.hamiltonian,
-              VMCConfig(n_samples=10**5, eloc_mode="exact", warmup=200, seed=2))
-    vmc.run(args.iters, log_every=max(args.iters // 8, 1))
-    e_vmc = vmc.best_energy()
-
-    print()
-    print(f"  HF          {prob.e_hf:+.6f} Ha")
-    print(f"  CCSD        {ccsd:+.6f} Ha")
-    print(f"  QiankunNet  {e_vmc:+.6f} Ha   (error vs FCI: {e_vmc - fci:+.2e})")
-    print(f"  FCI         {fci:+.6f} Ha")
-    status = "REACHED" if abs(e_vmc - fci) < 1.6e-3 else "not reached"
-    print(f"  chemical accuracy (1.6 mHa): {status}")
+        print()
+        print(f"  HF          {prob.e_hf:+.6f} Ha")
+        print(f"  CCSD        {ccsd:+.6f} Ha")
+        print(f"  QiankunNet  {e_vmc:+.6f} Ha   (error vs FCI: {e_vmc - fci:+.2e})")
+        print(f"  FCI         {fci:+.6f} Ha")
+        status = "REACHED" if abs(e_vmc - fci) < 1.6e-3 else "not reached"
+        print(f"  chemical accuracy (1.6 mHa): {status}")
+        print(f"  (snapshot published as v{result.published_version:06d}; a "
+              "persistent --run-dir would be servable via python -m repro serve)")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """The serving layer end to end: train -> publish -> serve -> consume.
 
-A miniature version of the production loop the ROADMAP points at: a trainer
-optimizes the ansatz and publishes versioned snapshots to a ModelRegistry;
-a WavefunctionService serves the registry to concurrent consumers (here: a
-PES-style amplitude client, a sampling client, and a local-energy client)
-while training keeps publishing — clients pin the version they started
-with, so their amplitude ratios stay consistent mid-request-stream.
+A miniature version of the production loop the ROADMAP points at, now wired
+through the declarative experiment API: ``run(spec)`` with
+``output.publish_every=1`` trains in a background thread and publishes a
+versioned snapshot to the run's ModelRegistry every iteration, while a
+WavefunctionService built by ``serve_run(run_dir)`` serves the same registry
+to concurrent consumers (a PES-style amplitude client, a sampling client,
+and a local-energy client).  Clients pin the version they started with, so
+their amplitude ratios stay consistent mid-request-stream.
 
 Usage:  python examples/serve_demo.py [--clients 6] [--iters 8]
 """
@@ -21,8 +23,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro import VMC, VMCConfig, build_problem, build_qiankunnet
-from repro.serve import ModelRegistry, ServeConfig, WavefunctionService
+from repro.api import get_preset, run, serve_run
+from repro.serve import ModelRegistry, ServeConfig
 
 
 def main() -> None:
@@ -31,20 +33,43 @@ def main() -> None:
     ap.add_argument("--iters", type=int, default=8)
     args = ap.parse_args()
 
-    prob = build_problem("H2", "sto-3g", r=0.7414)
-    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=3)
-    vmc = VMC(wf, prob.hamiltonian, VMCConfig(n_samples=2000, seed=5))
+    spec = get_preset("smoke").with_overrides({
+        "name": "serve-demo",
+        "ansatz.seed": 3,
+        "train.seed": 5,
+        "train.max_iterations": args.iters,
+        "train.pretrain_steps": 0,
+        "sampling.ns_pretrain": 2000,
+        "sampling.ns_max": 2000,
+        "output.publish_every": 1,
+    })
 
     with tempfile.TemporaryDirectory() as tmp:
-        registry = ModelRegistry(Path(tmp) / "models")
-        v0 = registry.publish(wf, metadata={"iteration": 0})
-        print(f"published initial snapshot as version {v0}")
+        run_dir = Path(tmp) / "run"
+        results: dict = {}
 
-        service = WavefunctionService(
-            registry, hamiltonian=prob.hamiltonian,
-            config=ServeConfig(max_wait_ms=2.0),
-        ).start()
+        def train() -> None:
+            try:
+                results["result"] = run(spec, run_dir=run_dir)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on join
+                results["error"] = exc
+
+        trainer_thread = threading.Thread(target=train)
+        t0 = time.perf_counter()
+        trainer_thread.start()
+
+        # Wait for the first published version, then open the service on the
+        # run's registry — the serve-while-training production shape.
+        registry = ModelRegistry(run_dir / "models")
+        while registry.latest_version() is None:
+            if not trainer_thread.is_alive():
+                raise results.get("error") or RuntimeError(
+                    "training thread died before publishing")
+            time.sleep(0.02)
+        service = serve_run(run_dir, config=ServeConfig(max_wait_ms=2.0)).start()
         pinned = service.active_version()
+        print(f"serving {run_dir} from version {pinned} while training runs")
+        n_qubits = registry.load(pinned)[0].n_qubits
 
         # ----------------------------------------------- concurrent clients
         stop = threading.Event()
@@ -55,7 +80,7 @@ def main() -> None:
         def amplitude_client() -> None:
             rng = np.random.default_rng(0)
             while not stop.is_set():
-                bits = rng.integers(0, 2, (2, prob.n_qubits)).astype(np.uint8)
+                bits = rng.integers(0, 2, (2, n_qubits)).astype(np.uint8)
                 service.log_amplitudes(bits, version=pinned)
                 counts["amplitudes"] += 1
                 time.sleep(0.01)
@@ -81,16 +106,11 @@ def main() -> None:
             w.start()
 
         # ------------------------------- training publishes while they run
-        t0 = time.perf_counter()
-        for i in range(args.iters):
-            stats = vmc.step()
-            version = registry.publish(
-                wf, metadata={"iteration": stats.iteration,
-                              "energy": stats.energy}
-            )
-            print(f"iter {stats.iteration}: E = {stats.energy:+.6f} Ha "
-                  f"-> published version {version}")
+        trainer_thread.join()
+        if "error" in results:
+            raise results["error"]
         service.refresh()
+        print(f"training finished: published versions {registry.versions()}")
         print(f"service now tracks version {service.active_version()} "
               f"(clients stay pinned to {pinned})")
 
@@ -100,8 +120,11 @@ def main() -> None:
             w.join()
         wall = time.perf_counter() - t0
 
-        s = service.stats()
+        result = results["result"]
         print()
+        print(f"final report after {result.report.iterations} iterations: "
+              f"E = {result.report.energy:+.6f} Ha")
+        s = service.stats()
         print(f"served during {wall:.1f}s of training:")
         print(f"  amplitude requests    {counts['amplitudes']}")
         print(f"  sampling requests     {counts['samples']}")

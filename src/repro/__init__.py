@@ -20,6 +20,8 @@ Quickstart::
     print(vmc.best_energy())
 """
 from repro.chem import build_problem, make_molecule, run_ccsd, run_fci, run_rhf
+from repro import api
+from repro.api import RunSpec, run, resume, serve_run
 from repro.core import (
     VMC,
     VMCConfig,
@@ -34,6 +36,11 @@ from repro.parallel import DataParallelVMC
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "RunSpec",
+    "run",
+    "resume",
+    "serve_run",
     "build_problem",
     "make_molecule",
     "run_ccsd",

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the single front door to the experiment API."""
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""The ``python -m repro`` command line — specs in, artifact dirs out.
+
+Subcommands:
+
+* ``run``     — execute a spec from ``--spec file.json`` or ``--preset name``,
+  with ``--set key=value`` dotted overrides.
+* ``resume``  — continue a run directory (``--set`` can extend the budget).
+* ``info``    — inspect a run directory, or list presets / registered
+  components (``--presets`` / ``--components``).
+* ``serve``   — serve a completed run's published snapshots and answer
+  ``log_amplitudes`` requests; always self-checks the service against
+  direct evaluation of the loaded snapshot.
+
+Every subcommand is importable (``repro.api.cli.main``) and returns an exit
+code, so tests drive it in-process and CI drives it as a subprocess.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import driver, presets
+from repro.api.registry import ANSATZE, ELOC_KERNELS, OPTIMIZERS, SAMPLERS
+from repro.api.spec import RunSpec, SpecError
+
+__all__ = ["main", "build_parser", "load_spec"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NNQS-Transformer experiment runner (declarative RunSpec API)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a RunSpec end to end")
+    src = p_run.add_mutually_exclusive_group(required=True)
+    src.add_argument("--spec", type=Path, help="path to a RunSpec JSON file")
+    src.add_argument("--preset", help="name of a built-in preset spec")
+    p_run.add_argument("--set", dest="overrides", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="dotted spec override, e.g. train.max_iterations=3")
+    p_run.add_argument("--run-dir", type=Path, default=None,
+                       help="artifact directory (default: runs/<name>-<stamp>)")
+
+    p_resume = sub.add_parser("resume", help="continue a run directory")
+    p_resume.add_argument("run_dir", type=Path)
+    p_resume.add_argument("--set", dest="overrides", action="append",
+                          default=[], metavar="KEY=VALUE",
+                          help="spec override, e.g. train.max_iterations=200")
+
+    p_info = sub.add_parser("info", help="inspect a run / list components")
+    p_info.add_argument("run_dir", type=Path, nargs="?")
+    p_info.add_argument("--presets", action="store_true",
+                        help="list built-in preset specs")
+    p_info.add_argument("--components", action="store_true",
+                        help="list registered ansätze/optimizers/samplers/kernels")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a run's snapshots; answer log_amplitudes requests")
+    p_serve.add_argument("run_dir", type=Path)
+    p_serve.add_argument("--bits-file", type=Path, default=None,
+                         help="JSON file with a list of 0/1 bitstring rows to evaluate")
+    p_serve.add_argument("--n-random", type=int, default=4,
+                         help="additionally evaluate N seeded random bitstrings")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seed for the random request bitstrings")
+    p_serve.add_argument("--version", type=int, default=None,
+                         help="pin a published snapshot version (default: latest)")
+    return parser
+
+
+def load_spec(args: argparse.Namespace) -> RunSpec:
+    if args.spec is not None:
+        if not args.spec.exists():
+            raise SpecError(f"spec file {args.spec} does not exist")
+        spec = RunSpec.load(args.spec)
+    else:
+        spec = presets.get_preset(args.preset)
+    return spec.with_overrides(args.overrides)
+
+
+# ---------------------------------------------------------------- subcommands
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args)
+    result = driver.run(spec, run_dir=args.run_dir)
+    print(result.report.summary())
+    print()
+    print(f"run directory      {result.run_dir}")
+    print(f"metrics            {result.metrics_path}")
+    if result.published_version is not None:
+        print(f"published snapshot v{result.published_version:06d} "
+              f"in {result.registry_dir}")
+        print(f"serve it with      python -m repro serve {result.run_dir}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    result = driver.resume(args.run_dir, overrides=args.overrides)
+    print(result.report.summary())
+    print()
+    print(f"run directory      {result.run_dir}")
+    if result.published_version is not None:
+        print(f"published snapshot v{result.published_version:06d} "
+              f"in {result.registry_dir}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    if args.presets:
+        for name in presets.preset_names():
+            spec = presets.get_preset(name)
+            print(f"{name:12s} {spec.problem.molecule}/{spec.problem.basis}  "
+                  f"ansatz={spec.ansatz.name}  "
+                  f"iters={spec.train.max_iterations}")
+        return 0
+    if args.components:
+        for registry in (ANSATZE, OPTIMIZERS, SAMPLERS, ELOC_KERNELS):
+            print(f"{registry.kind}: {', '.join(registry.names())}")
+        return 0
+    if args.run_dir is None:
+        print("info needs a run directory, --presets, or --components",
+              file=sys.stderr)
+        return 2
+    return _print_run_info(args.run_dir)
+
+
+def _print_run_info(run_dir: Path) -> int:
+    spec_path = run_dir / driver.SPEC_FILE
+    if not spec_path.exists():
+        print(f"{run_dir} is not a run directory (no {driver.SPEC_FILE})",
+              file=sys.stderr)
+        return 2
+    spec = RunSpec.load(spec_path)
+    print(f"run      {spec.name}")
+    print(f"problem  {spec.problem.molecule}/{spec.problem.basis}"
+          + (f" CAS(n_frozen={spec.problem.n_frozen}, "
+             f"n_active={spec.problem.n_active})"
+             if spec.problem.n_frozen or spec.problem.n_active else ""))
+    print(f"ansatz   {spec.ansatz.name}  optimizer {spec.optimizer.name}  "
+          f"sampler {spec.sampling.sampler}")
+    metrics_path = run_dir / driver.METRICS_FILE
+    if metrics_path.exists():
+        rows = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        iters = [r for r in rows if "iteration" in r]
+        if iters:
+            last = iters[-1]
+            print(f"metrics  {len(iters)} iterations, last E = "
+                  f"{last['energy']:+.6f} Ha")
+    report_path = run_dir / driver.REPORT_FILE
+    if report_path.exists():
+        report = json.loads(report_path.read_text())
+        print(f"report   best E = {report['best_energy']:+.6f} Ha after "
+              f"{report['iterations']} iterations"
+              + ("  (early stop)" if report.get("stopped_early") else ""))
+    models = run_dir / driver.MODELS_DIR
+    if (models / "manifest.json").exists():
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(models)
+        print(f"models   versions {registry.versions()} "
+              f"(latest v{registry.latest_version()})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Answer ``log_amplitudes`` requests through the serving stack.
+
+    Every evaluation is checked against direct (in-process) evaluation of
+    the same snapshot; any mismatch beyond fused-BLAS rounding is an error.
+    """
+    service = driver.serve_run(args.run_dir)
+    registry = service.registry
+    wf, _ = registry.load(args.version)
+
+    requests = []
+    if args.bits_file is not None:
+        rows = json.loads(Path(args.bits_file).read_text())
+        requests.append(("bits-file", np.asarray(rows, dtype=np.uint8)))
+
+    worst = 0.0
+    with service:
+        version = args.version or service.active_version()
+        if args.n_random > 0:
+            # Draw physically valid configurations through the service's own
+            # seeded sampler instead of unconstrained random bits.
+            batch = service.sample(max(64, args.n_random), seed=args.seed,
+                                   version=args.version)
+            requests.append(("sampled", batch.bits[: args.n_random]))
+        if not requests:
+            print("nothing to evaluate (empty --bits-file and --n-random 0)",
+                  file=sys.stderr)
+            return 2
+        for label, bits in requests:
+            served = service.log_amplitudes(bits, version=args.version)
+            direct = wf.log_amplitudes(bits)
+            diff = float(np.max(np.abs(served - direct)))
+            worst = max(worst, diff)
+            for row, value in zip(bits, served):
+                print(json.dumps({
+                    "request": label,
+                    "bits": row.tolist(),
+                    "log_amplitude": [value.real, value.imag],
+                }))
+    print(f"served {sum(len(b) for _, b in requests)} log_amplitudes "
+          f"requests from version {version} "
+          f"(max |served - direct| = {worst:.2e})", file=sys.stderr)
+    if worst > 1e-9:
+        print("ERROR: served amplitudes disagree with direct evaluation",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,373 @@
+"""The declarative experiment spec: one serializable tree per run.
+
+The paper's Sec. 4.1 workflow (molecule -> ansatz -> warm start -> grow-N_s
+VMC -> report) is expressed as a :class:`RunSpec` — a tree of small frozen
+dataclasses, one per subsystem — instead of hand-threaded ``build_problem``
+/ ``build_qiankunnet`` / ``Trainer`` calls.  Specs are data, not code:
+
+* every field is JSON-native (str / int / float / bool / None / dict /
+  tuple-of-int), so ``spec -> to_dict -> json -> from_dict`` is lossless;
+* validation runs at construction (``__post_init__``) and names the exact
+  field path (``sampling.ns_growth``) instead of failing deep in the loop;
+* component choices (``ansatz.name``, ``optimizer.name``, ``sampling.sampler``)
+  are string keys into the registries of :mod:`repro.api.registry`, so new
+  components plug in by name;
+* dotted overrides (``train.max_iterations=3`` — the CLI ``--set`` syntax)
+  rewrite the dict form before re-validation.
+
+The driver (:mod:`repro.api.driver`) materializes a spec into live objects
+and owns the artifact directory; this module knows nothing about execution.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from repro.core.vmc import ELOC_MODES
+
+__all__ = [
+    "SpecError",
+    "ProblemSpec",
+    "AnsatzSpec",
+    "OptimizerSpec",
+    "SamplingSpec",
+    "TrainSpec",
+    "OutputSpec",
+    "RunSpec",
+    "parse_set_assignment",
+    "coerce_override_value",
+    "apply_overrides",
+]
+
+class SpecError(ValueError):
+    """A spec field failed validation; the message names the field path."""
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise SpecError(f"{path}: {message}")
+
+
+@dataclass
+class _Spec:
+    """Base for all spec nodes: dict/JSON round-trip + unknown-key errors."""
+
+    _SECTION = ""          # dotted prefix used in error messages
+    _TUPLE_FIELDS = ()     # fields stored as JSON lists but typed as tuples
+
+    def to_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, _Spec):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Spec":
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"{cls._SECTION or cls.__name__}: expected a mapping, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            section = cls._SECTION or cls.__name__
+            raise SpecError(
+                f"{section}: unknown field(s) {', '.join(unknown)} "
+                f"(valid: {', '.join(sorted(known))})"
+            )
+        kwargs = {}
+        for name, value in data.items():
+            f = known[name]
+            sub = _SUBSPEC_TYPES.get((cls, name))
+            if sub is not None and isinstance(value, dict):
+                value = sub.from_dict(value)
+            elif name in cls._TUPLE_FIELDS and isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+
+# ------------------------------------------------------------------ sections
+@dataclass
+class ProblemSpec(_Spec):
+    """Which molecular problem to solve (``repro.chem.build_problem``)."""
+
+    _SECTION = "problem"
+
+    molecule: str = "H2"
+    basis: str = "sto-3g"
+    n_frozen: int = 0
+    n_active: int | None = None
+    geometry: dict = field(default_factory=dict)  # e.g. {"r": 0.7414}
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.molecule, str) and bool(self.molecule),
+                 "problem.molecule", "must be a non-empty molecule name")
+        _require(isinstance(self.basis, str) and bool(self.basis),
+                 "problem.basis", "must be a non-empty basis name")
+        _require(isinstance(self.n_frozen, int) and self.n_frozen >= 0,
+                 "problem.n_frozen", f"must be a non-negative int, got {self.n_frozen!r}")
+        _require(self.n_active is None
+                 or (isinstance(self.n_active, int) and self.n_active > 0),
+                 "problem.n_active", f"must be None or a positive int, got {self.n_active!r}")
+        _require(isinstance(self.geometry, dict),
+                 "problem.geometry", "must be a mapping of geometry kwargs")
+
+
+@dataclass
+class AnsatzSpec(_Spec):
+    """Which wavefunction ansatz to build (``repro.api`` ansatz registry)."""
+
+    _SECTION = "ansatz"
+    _TUPLE_FIELDS = ("phase_hidden",)
+
+    name: str = "transformer"
+    d_model: int = 16
+    n_heads: int = 4
+    n_layers: int = 2
+    phase_hidden: tuple = (512, 512)
+    token_bits: int = 2
+    constrain: bool = True
+    reverse_order: bool = True
+    seed: int = 0
+    params: dict = field(default_factory=dict)  # extra kwargs for the builder
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "ansatz.name", "must be a registered ansatz name")
+        for attr in ("d_model", "n_heads", "n_layers"):
+            v = getattr(self, attr)
+            _require(isinstance(v, int) and v > 0,
+                     f"ansatz.{attr}", f"must be a positive int, got {v!r}")
+        _require(self.token_bits in (1, 2),
+                 "ansatz.token_bits", f"must be 1 or 2, got {self.token_bits!r}")
+        _require(all(isinstance(h, int) and h > 0 for h in self.phase_hidden),
+                 "ansatz.phase_hidden", f"must be positive ints, got {self.phase_hidden!r}")
+        _require(isinstance(self.params, dict),
+                 "ansatz.params", "must be a mapping of extra builder kwargs")
+
+
+@dataclass
+class OptimizerSpec(_Spec):
+    """Which optimizer drives the parameter updates."""
+
+    _SECTION = "optimizer"
+
+    name: str = "adamw"
+    lr_scale: float = 1.0
+    warmup: int = 4000
+    weight_decay: float = 0.01
+    grad_clip: float | None = 1.0
+    params: dict = field(default_factory=dict)  # e.g. SR's lr / diag_shift
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "optimizer.name", "must be a registered optimizer name")
+        _require(self.lr_scale > 0,
+                 "optimizer.lr_scale", f"must be positive, got {self.lr_scale!r}")
+        _require(isinstance(self.warmup, int) and self.warmup > 0,
+                 "optimizer.warmup", f"must be a positive int, got {self.warmup!r}")
+        _require(self.weight_decay >= 0,
+                 "optimizer.weight_decay", f"must be >= 0, got {self.weight_decay!r}")
+        _require(self.grad_clip is None or self.grad_clip > 0,
+                 "optimizer.grad_clip", f"must be None or positive, got {self.grad_clip!r}")
+        _require(isinstance(self.params, dict),
+                 "optimizer.params", "must be a mapping of optimizer kwargs")
+
+
+@dataclass
+class SamplingSpec(_Spec):
+    """Sampler choice + the paper's growing-N_s schedule + E_loc mode."""
+
+    _SECTION = "sampling"
+
+    sampler: str = "bas"
+    ns_pretrain: int = 10**5
+    ns_max: int = 10**12
+    ns_growth: float = 1.3
+    pretrain_iters: int = 100
+    eloc_mode: str = "exact"
+    params: dict = field(default_factory=dict)  # e.g. hybrid's n_streams
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.sampler, str) and bool(self.sampler),
+                 "sampling.sampler", "must be a registered sampler name")
+        _require(isinstance(self.ns_pretrain, int) and self.ns_pretrain > 0,
+                 "sampling.ns_pretrain", f"must be a positive int, got {self.ns_pretrain!r}")
+        _require(isinstance(self.ns_max, int) and self.ns_max > 0,
+                 "sampling.ns_max", f"must be a positive int, got {self.ns_max!r}")
+        _require(self.ns_growth > 0,
+                 "sampling.ns_growth", f"must be positive, got {self.ns_growth!r}")
+        _require(isinstance(self.pretrain_iters, int) and self.pretrain_iters >= 0,
+                 "sampling.pretrain_iters",
+                 f"must be a non-negative int, got {self.pretrain_iters!r}")
+        _require(self.eloc_mode in ELOC_MODES,
+                 "sampling.eloc_mode",
+                 f"must be one of {ELOC_MODES}, got {self.eloc_mode!r}")
+        _require(isinstance(self.params, dict),
+                 "sampling.params", "must be a mapping of sampler kwargs")
+
+
+@dataclass
+class TrainSpec(_Spec):
+    """Loop budget, warm start, and stopping policy (Sec. 4.1 protocol)."""
+
+    _SECTION = "train"
+
+    max_iterations: int = 1000
+    pretrain_steps: int = 200
+    pretrain_target: float = 0.5
+    seed: int = 0
+    plateau_window: int = 100
+    plateau_rel_tol: float = 1e-7
+    early_stop: bool = True
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.max_iterations, int) and self.max_iterations > 0,
+                 "train.max_iterations",
+                 f"must be a positive int, got {self.max_iterations!r}")
+        _require(isinstance(self.pretrain_steps, int) and self.pretrain_steps >= 0,
+                 "train.pretrain_steps",
+                 f"must be a non-negative int, got {self.pretrain_steps!r}")
+        _require(0.0 < self.pretrain_target < 1.0,
+                 "train.pretrain_target",
+                 f"must be in (0, 1), got {self.pretrain_target!r}")
+        _require(isinstance(self.plateau_window, int) and self.plateau_window > 0,
+                 "train.plateau_window",
+                 f"must be a positive int, got {self.plateau_window!r}")
+        _require(self.plateau_rel_tol > 0,
+                 "train.plateau_rel_tol",
+                 f"must be positive, got {self.plateau_rel_tol!r}")
+
+
+@dataclass
+class OutputSpec(_Spec):
+    """Artifact-directory policy: checkpoints, logs, snapshot publication."""
+
+    _SECTION = "output"
+
+    run_dir: str | None = None      # None: the driver picks runs/<name>
+    checkpoint_every: int = 0       # 0: final checkpoint only
+    log_every: int = 0              # 0: no console prints
+    publish: bool = True            # publish final snapshot to <run>/models
+    publish_every: int = 0          # also publish every K iterations (0: off)
+    reference: str | float | None = None  # "fci", an energy in Ha, or None
+
+    def __post_init__(self) -> None:
+        for attr in ("checkpoint_every", "log_every", "publish_every"):
+            v = getattr(self, attr)
+            _require(isinstance(v, int) and v >= 0,
+                     f"output.{attr}", f"must be a non-negative int, got {v!r}")
+        _require(
+            self.reference is None
+            or isinstance(self.reference, (int, float))
+            or self.reference == "fci",
+            "output.reference",
+            f"must be None, 'fci', or an energy in Ha, got {self.reference!r}",
+        )
+
+
+@dataclass
+class RunSpec(_Spec):
+    """The full declarative experiment: one spec tree == one reproducible run."""
+
+    name: str = "run"
+    problem: ProblemSpec = field(default_factory=ProblemSpec)
+    ansatz: AnsatzSpec = field(default_factory=AnsatzSpec)
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    sampling: SamplingSpec = field(default_factory=SamplingSpec)
+    train: TrainSpec = field(default_factory=TrainSpec)
+    output: OutputSpec = field(default_factory=OutputSpec)
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 "name", "must be a non-empty run name")
+
+    # ------------------------------------------------------------------ JSON
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunSpec":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------- overrides
+    def with_overrides(self, assignments: dict | list | None) -> "RunSpec":
+        """A new spec with dotted-path overrides applied and re-validated.
+
+        ``assignments`` is either a mapping ``{"train.max_iterations": 3}``
+        or a list of CLI-style ``"train.max_iterations=3"`` strings.
+        """
+        if not assignments:
+            return self
+        if not isinstance(assignments, dict):
+            assignments = dict(parse_set_assignment(a) for a in assignments)
+        return type(self).from_dict(apply_overrides(self.to_dict(), assignments))
+
+
+# ``from_dict`` dispatch for nested sections (populated after class bodies).
+_SUBSPEC_TYPES = {
+    (RunSpec, "problem"): ProblemSpec,
+    (RunSpec, "ansatz"): AnsatzSpec,
+    (RunSpec, "optimizer"): OptimizerSpec,
+    (RunSpec, "sampling"): SamplingSpec,
+    (RunSpec, "train"): TrainSpec,
+    (RunSpec, "output"): OutputSpec,
+}
+
+
+# ---------------------------------------------------------- --set overrides
+def parse_set_assignment(text: str) -> tuple[str, object]:
+    """``"train.max_iterations=3"`` -> ``("train.max_iterations", 3)``.
+
+    The right-hand side is parsed as JSON when possible (ints, floats,
+    booleans, null, quoted strings, lists) and kept as a bare string
+    otherwise, so ``--set problem.molecule=LiH`` needs no quoting.
+    """
+    key, sep, raw = text.partition("=")
+    if not sep or not key.strip():
+        raise SpecError(
+            f"--set expects key=value with a dotted key, got {text!r}"
+        )
+    return key.strip(), coerce_override_value(raw.strip())
+
+
+def coerce_override_value(raw: str) -> object:
+    try:
+        return json.loads(raw)
+    except (json.JSONDecodeError, ValueError):
+        return raw
+
+
+def apply_overrides(data: dict, assignments: dict) -> dict:
+    """Apply ``{"a.b.c": value}`` overrides to a nested spec dict (copied)."""
+    out = json.loads(json.dumps(data))  # deep copy, JSON-native by contract
+    for dotted, value in assignments.items():
+        parts = dotted.split(".")
+        node = out
+        for i, part in enumerate(parts[:-1]):
+            child = node.get(part)
+            if not isinstance(child, dict):
+                raise SpecError(
+                    f"override {dotted!r}: {'.'.join(parts[: i + 1])} "
+                    "is not a spec section"
+                )
+            node = child
+        node[parts[-1]] = value
+    return out

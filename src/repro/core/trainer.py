@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -32,12 +33,19 @@ from repro.core.diagnostics import (
     zero_variance_extrapolation,
 )
 from repro.core.pretrain import pretrain_to_reference
-from repro.core.vmc import VMC, VMCConfig, default_ns_schedule
+from repro.core.vmc import (
+    ELOC_MODES,
+    VMC,
+    VMCConfig,
+    VMCStats,
+    best_energy,
+    default_ns_schedule,
+)
 from repro.core.wavefunction import NNQSWavefunction
 from repro.hamiltonian.compressed import CompressedHamiltonian
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
 
-__all__ = ["TrainConfig", "TrainReport", "Trainer"]
+__all__ = ["TrainConfig", "TrainReport", "Trainer", "build_report"]
 
 
 @dataclass
@@ -52,7 +60,12 @@ class TrainConfig:
     eloc_mode: str = "exact"
     warmup: int = 4000
     lr_scale: float = 1.0
+    weight_decay: float = 0.01
+    grad_clip: float | None = 1.0
     seed: int = 0
+    # Pluggable sampler fn(wf, n_samples, rng) -> SampleBatch; None keeps the
+    # default batch autoregressive sweep (see repro.api sampler registry).
+    sampler: Callable | None = None
     # stopping + logging
     plateau_window: int = 100
     plateau_rel_tol: float = 1e-7
@@ -61,6 +74,54 @@ class TrainConfig:
     checkpoint_path: str | Path | None = None
     log_path: str | Path | None = None
     log_every: int = 0                 # console prints
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError(
+                "TrainConfig.max_iterations must be positive, "
+                f"got {self.max_iterations!r}"
+            )
+        if self.pretrain_steps < 0:
+            raise ValueError(
+                "TrainConfig.pretrain_steps must be >= 0, "
+                f"got {self.pretrain_steps!r}"
+            )
+        if self.ns_pretrain <= 0:
+            raise ValueError(
+                f"TrainConfig.ns_pretrain must be positive, got {self.ns_pretrain!r}"
+            )
+        if self.ns_max <= 0:
+            raise ValueError(
+                f"TrainConfig.ns_max must be positive, got {self.ns_max!r}"
+            )
+        if self.ns_growth <= 0:
+            raise ValueError(
+                f"TrainConfig.ns_growth must be positive, got {self.ns_growth!r}"
+            )
+        if self.pretrain_iters < 0:
+            raise ValueError(
+                "TrainConfig.pretrain_iters must be >= 0, "
+                f"got {self.pretrain_iters!r}"
+            )
+        if self.eloc_mode not in ELOC_MODES:
+            raise ValueError(
+                f"TrainConfig.eloc_mode must be one of {ELOC_MODES}, "
+                f"got {self.eloc_mode!r}"
+            )
+        if self.warmup <= 0:
+            raise ValueError(
+                f"TrainConfig.warmup must be positive, got {self.warmup!r}"
+            )
+        if self.plateau_window <= 0:
+            raise ValueError(
+                "TrainConfig.plateau_window must be positive, "
+                f"got {self.plateau_window!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                "TrainConfig.checkpoint_every must be >= 0, "
+                f"got {self.checkpoint_every!r}"
+            )
 
 
 @dataclass
@@ -74,6 +135,10 @@ class TrainReport:
     v_score: float | None
     error_vs_reference: float | None = None
     correlation_fraction: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-native form — written as ``report.json`` by the run driver."""
+        return asdict(self)
 
     def summary(self) -> str:
         lines = [
@@ -90,6 +155,55 @@ class TrainReport:
             lines.append(f"corr. recovered   {100 * self.correlation_fraction:.1f}%")
         lines.append(f"wall time         {self.wall_time:.1f} s")
         return "\n".join(lines)
+
+
+def build_report(
+    history: list[VMCStats],
+    n_qubits: int,
+    wall_time: float,
+    stopped_early: bool,
+    e_hf: float | None = None,
+    e_reference: float | None = None,
+    best_window: int = 20,
+) -> TrainReport:
+    """Distill a stats history into a :class:`TrainReport`.
+
+    Shared by :class:`Trainer` and the ``repro.api`` run driver (whose
+    SR/step-protocol loop has no :class:`~repro.core.vmc.VMC` instance), so
+    every training path reports through identical estimators: the
+    variance-weighted trailing-window best energy, the zero-variance
+    extrapolation, and the reference-energy comparisons.
+    """
+    if not history:
+        raise RuntimeError("training has not produced any iterations")
+    energy = history[-1].energy
+    best = best_energy(history, best_window)
+    extrap = None
+    score = None
+    try:
+        res = zero_variance_extrapolation(history, window=min(50, len(history)))
+        if res.reliable:
+            extrap = res.energy
+    except ValueError:
+        pass
+    if history[-1].energy != 0.0:
+        score = v_score(best, history[-1].variance, n_qubits)
+    err = frac = None
+    if e_reference is not None:
+        err = best - e_reference
+        if e_hf is not None and abs(e_hf - e_reference) > 1e-14:
+            frac = correlation_energy_fraction(best, e_hf, e_reference)
+    return TrainReport(
+        energy=energy,
+        best_energy=best,
+        iterations=history[-1].iteration,
+        wall_time=wall_time,
+        stopped_early=stopped_early,
+        extrapolated_energy=extrap,
+        v_score=score,
+        error_vs_reference=err,
+        correlation_fraction=frac,
+    )
 
 
 class Trainer:
@@ -124,7 +238,10 @@ class Trainer:
                 eloc_mode=cfg.eloc_mode,
                 warmup=cfg.warmup,
                 lr_scale=cfg.lr_scale,
+                weight_decay=cfg.weight_decay,
+                grad_clip=cfg.grad_clip,
                 seed=cfg.seed,
+                sampler=cfg.sampler,
             ),
         )
         self._log_file = None
@@ -143,7 +260,14 @@ class Trainer:
         """Restore a checkpoint written by a previous :meth:`train` call."""
         load_checkpoint(self.vmc, path)
 
-    def train(self) -> TrainReport:
+    def train(self, on_iteration: Callable[[VMCStats], None] | None = None) -> TrainReport:
+        """Run to ``max_iterations`` (or plateau) and report.
+
+        ``on_iteration``, when given, is called with each iteration's
+        :class:`~repro.core.vmc.VMCStats` after logging/checkpointing — the
+        hook the run driver uses for periodic snapshot publication.  It must
+        not consume the VMC RNG if bit-reproducibility matters.
+        """
         cfg = self.config
         t0 = time.perf_counter()
 
@@ -179,6 +303,8 @@ class Trainer:
                 and stats.iteration % cfg.checkpoint_every == 0
             ):
                 save_checkpoint(self.vmc, cfg.checkpoint_path)
+            if on_iteration is not None:
+                on_iteration(stats)
             if (
                 cfg.early_stop
                 and stats.iteration > cfg.pretrain_iters + 2 * cfg.plateau_window
@@ -197,34 +323,11 @@ class Trainer:
         return self._report(time.perf_counter() - t0, stopped_early)
 
     def _report(self, wall: float, stopped_early: bool) -> TrainReport:
-        history = self.vmc.history
-        if not history:
-            raise RuntimeError("train() has not produced any iterations")
-        energy = history[-1].energy
-        best = self.vmc.best_energy()
-        extrap = None
-        score = None
-        try:
-            res = zero_variance_extrapolation(history, window=min(50, len(history)))
-            if res.reliable:
-                extrap = res.energy
-        except ValueError:
-            pass
-        if history[-1].energy != 0.0:
-            score = v_score(best, history[-1].variance, self.wf.n_qubits)
-        err = frac = None
-        if self.e_reference is not None:
-            err = best - self.e_reference
-            if self.e_hf is not None and abs(self.e_hf - self.e_reference) > 1e-14:
-                frac = correlation_energy_fraction(best, self.e_hf, self.e_reference)
-        return TrainReport(
-            energy=energy,
-            best_energy=best,
-            iterations=self.vmc.iteration,
-            wall_time=wall,
-            stopped_early=stopped_early,
-            extrapolated_energy=extrap,
-            v_score=score,
-            error_vs_reference=err,
-            correlation_fraction=frac,
+        return build_report(
+            self.vmc.history,
+            self.wf.n_qubits,
+            wall,
+            stopped_early,
+            e_hf=self.e_hf,
+            e_reference=self.e_reference,
         )

@@ -31,7 +31,7 @@ from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamilto
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
 from repro.optim import AdamW, NoamSchedule
 
-__all__ = ["VMCConfig", "VMCStats", "VMC", "default_ns_schedule"]
+__all__ = ["VMCConfig", "VMCStats", "VMC", "best_energy", "default_ns_schedule"]
 
 
 def default_ns_schedule(pretrain_iters: int = 100, ns_pretrain: int = 10**5,
@@ -47,6 +47,9 @@ def default_ns_schedule(pretrain_iters: int = 100, ns_pretrain: int = 10**5,
     return schedule
 
 
+ELOC_MODES = ("exact", "sample_aware")
+
+
 @dataclass
 class VMCConfig:
     n_samples: int | Callable[[int], int] = 10**5
@@ -56,6 +59,37 @@ class VMCConfig:
     weight_decay: float = 0.01
     grad_clip: float | None = 1.0     # max-norm clip (stabilizes small batches)
     seed: int = 0
+    # Pluggable sampler fn(wf, n_samples, rng) -> SampleBatch; None keeps the
+    # default batch autoregressive sweep (see repro.api sampler registry).
+    sampler: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if not callable(self.n_samples) and self.n_samples <= 0:
+            raise ValueError(
+                f"VMCConfig.n_samples must be positive, got {self.n_samples!r}"
+            )
+        if self.eloc_mode not in ELOC_MODES:
+            raise ValueError(
+                f"VMCConfig.eloc_mode must be one of {ELOC_MODES}, "
+                f"got {self.eloc_mode!r}"
+            )
+        if self.lr_scale <= 0:
+            raise ValueError(
+                f"VMCConfig.lr_scale must be positive, got {self.lr_scale!r}"
+            )
+        if self.warmup <= 0:
+            raise ValueError(
+                f"VMCConfig.warmup must be positive, got {self.warmup!r}"
+            )
+        if self.weight_decay < 0:
+            raise ValueError(
+                f"VMCConfig.weight_decay must be >= 0, got {self.weight_decay!r}"
+            )
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError(
+                f"VMCConfig.grad_clip must be None or positive, "
+                f"got {self.grad_clip!r}"
+            )
 
 
 @dataclass
@@ -100,7 +134,8 @@ class VMC:
         return ns(self.iteration) if callable(ns) else ns
 
     def sample(self) -> SampleBatch:
-        return batch_autoregressive_sample(self.wf, self._n_samples(), self.rng)
+        sampler = self.config.sampler or batch_autoregressive_sample
+        return sampler(self.wf, self._n_samples(), self.rng)
 
     def gradient_step(self, batch: SampleBatch, eloc: np.ndarray) -> None:
         """Backpropagate Eq. 7 and update parameters."""
@@ -160,10 +195,20 @@ class VMC:
 
     def best_energy(self, window: int = 20) -> float:
         """Variance-weighted energy over the trailing window (final estimate)."""
-        tail = self.history[-window:]
-        if not tail:
-            raise RuntimeError("no VMC iterations have run")
-        es = np.array([s.energy for s in tail])
-        vs = np.array([max(s.variance, 1e-12) for s in tail])
-        wts = 1.0 / vs
-        return float(np.sum(wts * es) / np.sum(wts))
+        return best_energy(self.history, window)
+
+
+def best_energy(history: list[VMCStats], window: int = 20) -> float:
+    """Variance-weighted mean energy over the trailing ``window`` iterations.
+
+    The final-estimate convention shared by :meth:`VMC.best_energy` and
+    :func:`repro.core.trainer.build_report` — one definition, so the number
+    printed by a driver and the one written to ``report.json`` agree.
+    """
+    tail = history[-window:]
+    if not tail:
+        raise RuntimeError("no VMC iterations have run")
+    es = np.array([s.energy for s in tail])
+    vs = np.array([max(s.variance, 1e-12) for s in tail])
+    wts = 1.0 / vs
+    return float(np.sum(wts * es) / np.sum(wts))

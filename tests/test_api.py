@@ -1,0 +1,464 @@
+"""Tests for the declarative experiment API (repro.api).
+
+Covers the RunSpec JSON round-trip, spec validation error paths, the
+component registries, the ``--set`` override machinery, and the run driver's
+acceptance contracts: bit-identical trajectories vs the hand-wired Trainer
+path, bit-identical resume, the artifact-directory layout, and a servable
+published snapshot.
+"""
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ANSATZE,
+    AnsatzSpec,
+    ComponentRegistry,
+    OptimizerSpec,
+    OutputSpec,
+    ProblemSpec,
+    RunSpec,
+    SamplingSpec,
+    SpecError,
+    TrainSpec,
+    UnknownComponentError,
+    apply_overrides,
+    get_preset,
+    parse_set_assignment,
+    resume,
+    run,
+    serve_run,
+)
+from repro.core import TrainConfig, Trainer, build_qiankunnet
+from repro.core.checkpoint import load_model_snapshot
+
+
+def full_spec() -> RunSpec:
+    """A spec exercising every field type: str/int/float/bool/None/tuple/dict."""
+    return RunSpec(
+        name="roundtrip",
+        problem=ProblemSpec(molecule="LiH", basis="sto-3g", n_frozen=1,
+                            n_active=3, geometry={"r": 1.2}),
+        ansatz=AnsatzSpec(name="made", d_model=8, n_heads=2, n_layers=1,
+                          phase_hidden=(32, 16), token_bits=2, constrain=False,
+                          reverse_order=False, seed=5, params={"extra": 1}),
+        optimizer=OptimizerSpec(name="adamw", lr_scale=0.5, warmup=123,
+                                weight_decay=0.0, grad_clip=None,
+                                params={"lr": 0.1}),
+        sampling=SamplingSpec(sampler="hybrid", ns_pretrain=777, ns_max=8888,
+                              ns_growth=1.5, pretrain_iters=0,
+                              eloc_mode="sample_aware",
+                              params={"n_streams": 2}),
+        train=TrainSpec(max_iterations=7, pretrain_steps=0,
+                        pretrain_target=0.25, seed=9, plateau_window=3,
+                        plateau_rel_tol=1e-5, early_stop=False),
+        output=OutputSpec(run_dir="somewhere", checkpoint_every=2,
+                          log_every=1, publish=False, publish_every=3,
+                          reference="fci"),
+    )
+
+
+def tiny_spec(overrides: dict | None = None) -> RunSpec:
+    """The smallest H2 spec; seeds/sizes match ``tiny_trainer`` below."""
+    spec = RunSpec(
+        name="tiny",
+        problem=ProblemSpec(molecule="H2", basis="sto-3g",
+                            geometry={"r": 0.7414}),
+        ansatz=AnsatzSpec(name="transformer", d_model=8, n_heads=2,
+                          n_layers=1, phase_hidden=(16,), seed=12),
+        optimizer=OptimizerSpec(warmup=100),
+        sampling=SamplingSpec(ns_pretrain=500, ns_max=1000, ns_growth=1.3,
+                              pretrain_iters=2),
+        train=TrainSpec(max_iterations=4, pretrain_steps=10, seed=11,
+                        early_stop=False),
+    )
+    return spec.with_overrides(overrides)
+
+
+def tiny_trainer(prob, **config_overrides) -> Trainer:
+    """The pre-redesign hand wiring equivalent to :func:`tiny_spec`."""
+    wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, d_model=8,
+                          n_heads=2, n_layers=1, phase_hidden=(16,), seed=12)
+    defaults = dict(max_iterations=4, pretrain_steps=10, ns_pretrain=500,
+                    ns_max=1000, ns_growth=1.3, pretrain_iters=2, warmup=100,
+                    early_stop=False, seed=11)
+    defaults.update(config_overrides)
+    return Trainer(wf, prob.hamiltonian, TrainConfig(**defaults),
+                   hf_bits=prob.hf_bits)
+
+
+def metric_energies(path) -> list[float]:
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    return [r["energy"] for r in rows if "iteration" in r]
+
+
+# ----------------------------------------------------------- spec round-trip
+class TestSpecRoundTrip:
+    def test_json_roundtrip_is_lossless(self):
+        spec = full_spec()
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_tuple_fields_come_back_as_tuples(self):
+        again = RunSpec.from_json(full_spec().to_json())
+        assert isinstance(again.ansatz.phase_hidden, tuple)
+        assert again.ansatz.phase_hidden == (32, 16)
+
+    def test_default_spec_roundtrips(self):
+        spec = RunSpec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = full_spec()
+        spec.save(path)
+        assert RunSpec.load(path) == spec
+
+    def test_presets_validate_and_roundtrip(self):
+        for name in ("smoke", "h2", "n2-cas66"):
+            spec = get_preset(name)
+            assert RunSpec.from_json(spec.to_json()) == spec
+
+
+# -------------------------------------------------------------- validation
+class TestSpecValidation:
+    @pytest.mark.parametrize("section,field,value", [
+        ("train", "max_iterations", 0),
+        ("train", "max_iterations", -3),
+        ("train", "pretrain_target", 1.5),
+        ("sampling", "ns_max", 0),
+        ("sampling", "ns_growth", 0.0),
+        ("sampling", "ns_growth", -1.0),
+        ("sampling", "eloc_mode", "typo_mode"),
+        ("sampling", "ns_pretrain", 0),
+        ("ansatz", "d_model", 0),
+        ("ansatz", "token_bits", 3),
+        ("optimizer", "warmup", 0),
+        ("optimizer", "grad_clip", -1.0),
+        ("problem", "n_frozen", -1),
+        ("output", "checkpoint_every", -1),
+    ])
+    def test_bad_value_names_field(self, section, field, value):
+        data = RunSpec().to_dict()
+        data[section][field] = value
+        with pytest.raises(SpecError, match=f"{section}.{field}"):
+            RunSpec.from_dict(data)
+
+    def test_unknown_field_lists_valid_ones(self):
+        data = RunSpec().to_dict()
+        data["train"]["max_iters"] = 5
+        with pytest.raises(SpecError, match="max_iterations"):
+            RunSpec.from_dict(data)
+
+    def test_unknown_section_rejected(self):
+        data = RunSpec().to_dict()
+        data["trian"] = {}
+        with pytest.raises(SpecError, match="trian"):
+            RunSpec.from_dict(data)
+
+    def test_unknown_preset_lists_presets(self):
+        with pytest.raises(SpecError, match="smoke"):
+            get_preset("does-not-exist")
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(SpecError, match="output.reference"):
+            OutputSpec(reference="ccsd(t)")
+
+
+# ---------------------------------------------------------------- registries
+class TestRegistries:
+    def test_builtins_are_registered(self):
+        from repro.api import ELOC_KERNELS, OPTIMIZERS, SAMPLERS
+
+        assert {"transformer", "made", "naqs-mlp", "rbm"} <= set(ANSATZE.names())
+        assert {"adamw", "sr"} <= set(OPTIMIZERS.names())
+        assert {"bas", "hybrid", "mcmc"} <= set(SAMPLERS.names())
+        assert {"exact", "sample_aware", "baseline", "sa_fuse", "sa_fuse_lut",
+                "vectorized"} <= set(ELOC_KERNELS.names())
+
+    def test_unknown_name_error_lists_registered(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            ANSATZE.get("retnet")
+        message = str(exc.value)
+        assert "retnet" in message
+        assert "transformer" in message and "made" in message
+
+    def test_empty_registry_error_says_none(self):
+        reg = ComponentRegistry("widget")
+        with pytest.raises(UnknownComponentError, match=r"\(none\)"):
+            reg.get("anything")
+
+    def test_register_decorator_and_duplicate_rejection(self):
+        reg = ComponentRegistry("widget")
+
+        @reg.register("thing")
+        def build_thing():
+            return "built"
+
+        assert "thing" in reg
+        assert reg.build("thing") == "built"
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("thing", lambda: None)
+        reg.register("thing", lambda: "replaced", overwrite=True)
+        assert reg.build("thing") == "replaced"
+
+    def test_unknown_ansatz_in_spec_fails_at_materialization(self, tmp_path):
+        spec = tiny_spec().with_overrides({"ansatz.name": "retnet"})
+        with pytest.raises(UnknownComponentError, match="transformer"):
+            run(spec, run_dir=tmp_path / "r")
+
+    def test_unknown_sampler_in_spec(self, tmp_path):
+        spec = tiny_spec().with_overrides({"sampling.sampler": "quantum"})
+        with pytest.raises(UnknownComponentError, match="bas"):
+            run(spec, run_dir=tmp_path / "r")
+
+    def test_unknown_optimizer_in_spec(self, tmp_path):
+        spec = tiny_spec().with_overrides({"optimizer.name": "lion"})
+        with pytest.raises(UnknownComponentError, match="adamw"):
+            run(spec, run_dir=tmp_path / "r")
+
+
+# ------------------------------------------------------------ --set parsing
+class TestOverrides:
+    @pytest.mark.parametrize("text,expected", [
+        ("train.max_iterations=3", ("train.max_iterations", 3)),
+        ("optimizer.lr_scale=0.5", ("optimizer.lr_scale", 0.5)),
+        ("train.early_stop=false", ("train.early_stop", False)),
+        ("optimizer.grad_clip=null", ("optimizer.grad_clip", None)),
+        ("problem.molecule=LiH", ("problem.molecule", "LiH")),
+        ("ansatz.phase_hidden=[8, 4]", ("ansatz.phase_hidden", [8, 4])),
+        ('name="quoted name"', ("name", "quoted name")),
+    ])
+    def test_parse_set_assignment(self, text, expected):
+        assert parse_set_assignment(text) == expected
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SpecError, match="key=value"):
+            parse_set_assignment("train.max_iterations")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SpecError, match="key=value"):
+            parse_set_assignment("=3")
+
+    def test_with_overrides_applies_and_validates(self):
+        spec = RunSpec().with_overrides(["train.max_iterations=3",
+                                         "ansatz.phase_hidden=[8]"])
+        assert spec.train.max_iterations == 3
+        assert spec.ansatz.phase_hidden == (8,)
+
+    def test_with_overrides_rejects_bad_value(self):
+        with pytest.raises(SpecError, match="train.max_iterations"):
+            RunSpec().with_overrides({"train.max_iterations": 0})
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(SpecError, match="max_iterations"):
+            RunSpec().with_overrides({"train.max_iters": 3})
+
+    def test_override_through_non_section_fails(self):
+        with pytest.raises(SpecError, match="not a spec section"):
+            apply_overrides(RunSpec().to_dict(), {"name.deep.key": 1})
+
+    def test_original_spec_untouched(self):
+        spec = RunSpec()
+        spec.with_overrides({"train.max_iterations": 3})
+        assert spec.train.max_iterations == 1000
+
+
+# ------------------------------------------------------- driver equivalence
+class TestDriverEquivalence:
+    def test_run_matches_hand_wired_trainer(self, h2_problem, tmp_path):
+        """Acceptance: run(spec) is bit-identical to the Trainer path."""
+        trainer = tiny_trainer(h2_problem)
+        trainer.train()
+        hand = [s.energy for s in trainer.vmc.history]
+
+        result = run(tiny_spec(), run_dir=tmp_path / "run")
+        driven = metric_energies(result.metrics_path)
+        assert driven == hand  # exact float equality, not approx
+
+    def test_resume_continues_bit_identically(self, tmp_path):
+        """Acceptance: resume(run_dir) continues the trajectory exactly."""
+        full = run(tiny_spec({"train.max_iterations": 6}),
+                   run_dir=tmp_path / "full")
+        reference = metric_energies(full.metrics_path)
+        assert len(reference) == 6
+
+        first = run(tiny_spec({"train.max_iterations": 3}),
+                    run_dir=tmp_path / "split")
+        assert metric_energies(first.metrics_path) == reference[:3]
+
+        resumed = resume(tmp_path / "split",
+                         overrides={"train.max_iterations": 6})
+        assert resumed.report.iterations == 6
+        assert metric_energies(resumed.metrics_path) == reference
+
+        # The extended budget is persisted for future resumes.
+        assert RunSpec.load(resumed.spec_path).train.max_iterations == 6
+
+    def test_resume_without_checkpoint_dir_fails(self, tmp_path):
+        with pytest.raises(SpecError, match="not a run directory"):
+            resume(tmp_path / "nope")
+
+    def test_resume_with_exhausted_budget_does_not_republish(self, tmp_path):
+        result = run(tiny_spec(), run_dir=tmp_path / "run")
+        assert result.registry().versions() == [1]
+        again = resume(result.run_dir)  # budget already spent: 0 new iters
+        assert again.report.iterations == 4
+        assert again.registry().versions() == [1]
+        assert again.published_version == 1
+
+
+# ----------------------------------------------------------------- artifacts
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def completed(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("artifacts") / "run"
+        return run(tiny_spec(), run_dir=run_dir)
+
+    def test_layout(self, completed):
+        assert completed.spec_path.exists()
+        assert completed.metrics_path.exists()
+        assert completed.checkpoint_path.exists()
+        assert completed.report_path.exists()
+        assert (completed.registry_dir / "manifest.json").exists()
+
+    def test_spec_json_reloads_equal(self, completed):
+        assert RunSpec.load(completed.spec_path) == completed.spec
+
+    def test_report_json_matches_report(self, completed):
+        on_disk = json.loads(completed.report_path.read_text())
+        assert on_disk == completed.report.to_dict()
+        assert on_disk["iterations"] == 4
+
+    def test_snapshot_published_and_loadable(self, completed):
+        registry = completed.registry()
+        assert registry.latest_version() == completed.published_version == 1
+        wf, metadata = registry.load()
+        np.testing.assert_array_equal(
+            wf.get_flat_params(), completed.wavefunction.get_flat_params())
+        assert metadata["final"] is True
+        assert metadata["iteration"] == 4
+
+    def test_snapshot_file_loads_standalone(self, completed):
+        path = completed.registry().path(1)
+        wf, _ = load_model_snapshot(path)
+        assert wf.n_qubits == completed.wavefunction.n_qubits
+
+    def test_run_dir_collision_rejected(self, completed):
+        with pytest.raises(SpecError, match="already contains a run"):
+            run(tiny_spec(), run_dir=completed.run_dir)
+
+    def test_failed_materialization_leaves_dir_reusable(self, tmp_path):
+        """A typo'd spec must not brick its run_dir (no orphan spec.json)."""
+        target = tmp_path / "run"
+        bad = tiny_spec().with_overrides({"ansatz.name": "retnet"})
+        with pytest.raises(UnknownComponentError):
+            run(bad, run_dir=target)
+        assert not (target / "spec.json").exists()
+        result = run(tiny_spec(), run_dir=target)  # retry after fixing
+        assert result.report.iterations == 4
+
+    def test_spec_output_run_dir_is_honored(self, tmp_path):
+        target = tmp_path / "from-spec"
+        spec = tiny_spec().with_overrides({"output.run_dir": str(target)})
+        result = run(spec)
+        assert result.run_dir == target
+        assert result.report_path.exists()
+
+    def test_publish_disabled(self, tmp_path):
+        spec = tiny_spec().with_overrides({"output.publish": False})
+        result = run(spec, run_dir=tmp_path / "r")
+        assert result.published_version is None
+        assert not (result.registry_dir / "manifest.json").exists()
+
+    def test_publish_every(self, tmp_path):
+        spec = tiny_spec().with_overrides({"output.publish_every": 2})
+        result = run(spec, run_dir=tmp_path / "r")
+        # 4 iterations -> periodic snapshots at 2 and 4, plus the final one.
+        assert result.registry().versions() == [1, 2, 3]
+        assert result.published_version == 3
+
+
+# ------------------------------------------------------------------- serving
+class TestServing:
+    def test_serve_run_answers_log_amplitudes(self, tmp_path):
+        """Acceptance: a completed run's snapshot is directly servable and
+        serves ``log_amplitudes`` matching direct evaluation."""
+        result = run(tiny_spec(), run_dir=tmp_path / "run")
+        service = serve_run(result.run_dir)
+        with service:
+            batch = service.sample(64, seed=5)
+            served = service.log_amplitudes(batch.bits)
+        direct = result.wavefunction.log_amplitudes(batch.bits)
+        np.testing.assert_allclose(served, direct, atol=1e-12, rtol=0)
+
+    def test_serve_run_without_snapshots_fails(self, tmp_path):
+        spec = tiny_spec().with_overrides({"output.publish": False})
+        result = run(spec, run_dir=tmp_path / "run")
+        with pytest.raises(SpecError, match="no published snapshots"):
+            serve_run(result.run_dir)
+
+
+# --------------------------------------------------------- pluggable pieces
+class TestPluggability:
+    def test_sr_optimizer_runs_and_reports(self, tmp_path):
+        spec = tiny_spec().with_overrides({
+            "optimizer.name": "sr",
+            "optimizer.params": {"lr": 0.05},
+            "train.max_iterations": 2,
+            "train.pretrain_steps": 5,
+        })
+        result = run(spec, run_dir=tmp_path / "run")
+        assert result.report.iterations == 2
+        assert np.isfinite(result.report.energy)
+        assert len(metric_energies(result.metrics_path)) == 2
+        assert result.report_path.exists()
+        assert result.published_version == 1
+        with pytest.raises(SpecError, match="not checkpointed"):
+            resume(result.run_dir)
+
+    def test_hybrid_sampler_runs(self, tmp_path):
+        spec = tiny_spec().with_overrides({
+            "sampling.sampler": "hybrid",
+            "sampling.params": {"n_streams": 2},
+            "train.max_iterations": 2,
+        })
+        result = run(spec, run_dir=tmp_path / "run")
+        assert result.report.iterations == 2
+        assert np.isfinite(result.report.energy)
+
+    @pytest.mark.parametrize("optimizer", ["adamw", "sr"])
+    def test_rbm_is_actionable_on_both_paths(self, tmp_path, optimizer):
+        spec = tiny_spec().with_overrides({"ansatz.name": "rbm",
+                                           "optimizer.name": optimizer})
+        with pytest.raises(SpecError, match="RBMVMC"):
+            run(spec, run_dir=tmp_path / "run")
+
+    def test_custom_ansatz_plugs_in_by_name(self, tmp_path):
+        """A registered builder is reachable from a spec with zero driver edits."""
+        from repro.api import register_ansatz
+        from repro.api.registry import ANSATZE as registry
+
+        name = "test-custom-transformer"
+        calls = {}
+
+        def build(n_qubits, n_up, n_dn, *, seed=0, **params):
+            calls["params"] = params
+            return build_qiankunnet(n_qubits, n_up, n_dn, d_model=8,
+                                    n_heads=2, n_layers=1, phase_hidden=(16,),
+                                    seed=seed)
+
+        register_ansatz(name, build)
+        try:
+            spec = tiny_spec().with_overrides({
+                "ansatz.name": name,
+                "ansatz.params": {"flavor": "mini"},
+                "train.max_iterations": 1,
+                "train.pretrain_steps": 0,
+            })
+            result = run(spec, run_dir=tmp_path / "run")
+            assert result.report.iterations == 1
+            assert calls["params"]["flavor"] == "mini"
+        finally:
+            registry._builders.pop(name, None)

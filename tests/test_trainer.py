@@ -110,3 +110,51 @@ class TestTrainerPersistence:
         report = trainer.train()
         assert report.stopped_early
         assert report.iterations <= 5 + 2 * 5 + 1
+
+
+class TestTrainConfigValidation:
+    """__post_init__ rejects bad knobs up front, naming the field."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_iterations", 0),
+        ("max_iterations", -5),
+        ("pretrain_steps", -1),
+        ("ns_pretrain", 0),
+        ("ns_max", 0),
+        ("ns_max", -10),
+        ("ns_growth", 0.0),
+        ("ns_growth", -1.3),
+        ("pretrain_iters", -1),
+        ("eloc_mode", "typo_mode"),
+        ("warmup", 0),
+        ("plateau_window", 0),
+        ("checkpoint_every", -1),
+    ])
+    def test_bad_value_names_field(self, field, value):
+        with pytest.raises(ValueError, match=f"TrainConfig.{field}"):
+            TrainConfig(**{field: value})
+
+    def test_defaults_are_valid(self):
+        TrainConfig()
+
+    def test_eloc_modes_accepted(self):
+        TrainConfig(eloc_mode="exact")
+        TrainConfig(eloc_mode="sample_aware")
+
+
+class TestTrainReportSerialization:
+    def test_to_dict_roundtrips_through_json(self, h2):
+        import json as _json
+
+        prob, fci = h2
+        report = make_trainer(prob, fci, max_iterations=10).train()
+        data = _json.loads(_json.dumps(report.to_dict()))
+        assert data["iterations"] == 10
+        assert data["energy"] == report.energy
+        assert data["best_energy"] == report.best_energy
+        assert data["stopped_early"] is False
+        assert set(data) == {
+            "energy", "best_energy", "iterations", "wall_time",
+            "stopped_early", "extrapolated_energy", "v_score",
+            "error_vs_reference", "correlation_fraction",
+        }

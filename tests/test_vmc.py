@@ -148,3 +148,45 @@ class TestPretrain:
         pretrain_to_reference(wf, h2_problem.hf_bits, n_steps=20)
         for p, q in zip(wf.phase.parameters(), phase0):
             np.testing.assert_array_equal(p.data, q)
+
+
+class TestVMCConfigValidation:
+    """__post_init__ rejects bad knobs up front, naming the field."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_samples", 0),
+        ("n_samples", -100),
+        ("eloc_mode", "typo_mode"),
+        ("lr_scale", 0.0),
+        ("warmup", 0),
+        ("weight_decay", -0.1),
+        ("grad_clip", 0.0),
+    ])
+    def test_bad_value_names_field(self, field, value):
+        with pytest.raises(ValueError, match=f"VMCConfig.{field}"):
+            VMCConfig(**{field: value})
+
+    def test_callable_schedule_accepted(self):
+        VMCConfig(n_samples=default_ns_schedule())
+
+    def test_grad_clip_none_accepted(self):
+        VMCConfig(grad_clip=None)
+
+    def test_custom_sampler_is_used(self):
+        from repro.core.sampler import batch_autoregressive_sample
+
+        calls = []
+
+        def spy_sampler(wf, n, rng):
+            calls.append(n)
+            return batch_autoregressive_sample(wf, n, rng)
+
+        wf = build_qiankunnet(4, 1, 1, d_model=8, n_heads=2, n_layers=1,
+                              phase_hidden=(8,), seed=0)
+        from repro.hamiltonian.synthetic import synthetic_molecular_hamiltonian
+
+        ham = synthetic_molecular_hamiltonian(4, n_terms=8, seed=3)
+        vmc = VMC(wf, ham, VMCConfig(n_samples=64, warmup=10,
+                                     sampler=spy_sampler))
+        vmc.step()
+        assert calls == [64]
