@@ -7,6 +7,10 @@ calibrated analytic model (embarrassingly parallel E_loc/backward stages,
 serial shared-prefix fraction in sampling, Sec. 3.2 communication volume) out
 to 64 ranks.  Shape: monotonically decreasing efficiency, still high at
 moderate rank counts.
+
+Iterations run on the unified execution engine's ``ThreadBackend``
+(``repro.core.engine``); a comparison block pins the Sec. 3.3 load-balancing
+choice — contiguous 1/N_p vs weight-balanced eloc partition at fixed seed.
 """
 from __future__ import annotations
 
@@ -93,14 +97,38 @@ def test_fig11_strong_scaling(benchmark, full):
         title="Fig. 11 — strong-scaling parallel efficiency vs ranks",
         xlabel="ranks", ylabel="%",
     )
-    registry.record("fig11_strong_scaling", table + "\n\n" + chart)
-    # Timed kernel: one 2-rank parallel iteration.
-    from repro.parallel import DataParallelVMC
+    # Sec. 3.3 load balancing: contiguous 1/N_p vs weight-balanced eloc
+    # partition of the same seeded 2-rank iteration (identical estimator,
+    # different per-rank chunk loads and therefore different stage time).
+    from repro.core.vmc import VMC
+    from repro.parallel import ThreadBackend
 
-    driver = DataParallelVMC(
-        _wf_factory(prob)(), comp, n_ranks=2,
-        config=VMCConfig(n_samples=_NS, eloc_mode="sample_aware", seed=15),
-        nu_star_per_rank=32,
+    cmp_rows = []
+    for mode in ("contiguous", "balanced"):
+        driver = VMC(
+            _wf_factory(prob)(), comp,
+            VMCConfig(n_samples=_NS, eloc_mode="sample_aware", seed=15),
+            backend=ThreadBackend(n_ranks=2, nu_star_per_rank=32,
+                                  eloc_partition=mode),
+        )
+        driver.step()  # warmup
+        s = driver.step()
+        cmp_rows.append([mode, s.n_unique, f"{s.energy:+.6f}",
+                         f"{s.time_local_energy:.3f}", f"{s.wall_time:.3f}"])
+    cmp_table = format_table(
+        "Eloc partition comparison (2 thread ranks, fixed seed)",
+        ["partition", "N_u", "energy", "t_eloc (s)", "t/iter (s)"],
+        cmp_rows,
+        notes="Same global unique set and estimator; the weight-balanced "
+              "cuts (Sec. 3.3) equalize per-rank sample weight.",
+    )
+    registry.record("fig11_strong_scaling",
+                    table + "\n\n" + chart + "\n\n" + cmp_table)
+    # Timed kernel: one 2-rank engine iteration.
+    driver = VMC(
+        _wf_factory(prob)(), comp,
+        VMCConfig(n_samples=_NS, eloc_mode="sample_aware", seed=15),
+        backend=ThreadBackend(n_ranks=2, nu_star_per_rank=32),
     )
     driver.step()
     benchmark(driver.step)

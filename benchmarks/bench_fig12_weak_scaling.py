@@ -5,6 +5,10 @@ n GPUs; we scale N_s proportionally to the rank count on N2/STO-3G and report
 the same per-stage timing decomposition plus the calibrated-model
 extrapolation.  Shape: time per iteration ~flat, efficiency decaying slowly
 (paper: 93.4% @32, 84.3% @64).
+
+Measurements run on the unified execution engine's ``ThreadBackend``
+(``measure_scaling`` drives ``repro.core.vmc.VMC`` + the staged pipeline of
+``repro.core.engine`` — the same path as ``parallel.backend=threads`` runs).
 """
 from __future__ import annotations
 

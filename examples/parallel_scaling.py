@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""Data-centric parallel VMC (Fig. 4): ranks, stage timings, comm volumes.
+"""Data-centric parallel VMC (Fig. 4): engine backends, timings, comm volume.
 
-Runs the 6-stage parallel iteration on thread ranks and prints, per rank
-count: wall time, the sampling / local-energy / gradient stage decomposition
-(the Fig. 11 profile), measured communication bytes, and the closed-form
-Sec. 3.2 volume for comparison.
+Runs the unified execution engine's staged iteration on thread ranks and
+prints, per rank count: wall time, the sampling / local-energy / gradient
+stage decomposition (the Fig. 11 profile), measured communication bytes, and
+the closed-form Sec. 3.2 volume for comparison.
+
+The same configuration is one spec away from the CLI front door:
+
+    python -m repro run --preset smoke \
+        --set parallel.backend=threads --set parallel.n_ranks=4
+
+which additionally gets checkpoint/resume, metrics.jsonl and model
+publishing from the run driver.
 
 Usage:  python examples/parallel_scaling.py [--molecule N2] [--ranks 1 2 4]
 """
 import argparse
 
-from repro import DataParallelVMC, build_problem, build_qiankunnet
-from repro.core import VMCConfig, pretrain_to_reference
+from repro import build_problem, build_qiankunnet
+from repro.core import VMC, VMCConfig, pretrain_to_reference
 from repro.hamiltonian import compress_hamiltonian
-from repro.parallel import CommVolumeModel
+from repro.parallel import CommVolumeModel, ThreadBackend
 
 
 def main() -> None:
@@ -22,6 +30,10 @@ def main() -> None:
     ap.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4])
     ap.add_argument("--samples", type=int, default=200_000)
     ap.add_argument("--iters", type=int, default=3)
+    ap.add_argument("--eloc-partition", default="balanced",
+                    choices=["balanced", "contiguous"],
+                    help="Sec. 3.3 weight-balanced eloc chunking (default) "
+                         "or the naive contiguous 1/N_p split")
     args = ap.parse_args()
 
     prob = build_problem(args.molecule, "sto-3g")
@@ -35,11 +47,12 @@ def main() -> None:
     for n_ranks in args.ranks:
         wf = build_qiankunnet(prob.n_qubits, prob.n_up, prob.n_dn, seed=13)
         pretrain_to_reference(wf, prob.hf_bits, n_steps=60, target_prob=0.2)
-        driver = DataParallelVMC(
-            wf, comp, n_ranks=n_ranks,
-            config=VMCConfig(n_samples=args.samples, eloc_mode="sample_aware",
-                             seed=14),
-            nu_star_per_rank=32,
+        driver = VMC(
+            wf, comp,
+            VMCConfig(n_samples=args.samples, eloc_mode="sample_aware",
+                      seed=14),
+            backend=ThreadBackend(n_ranks=n_ranks, nu_star_per_rank=32,
+                                  eloc_partition=args.eloc_partition),
         )
         driver.step()  # warmup
         stats = [driver.step() for _ in range(args.iters)]

@@ -31,7 +31,12 @@ from repro.core import (
     pretrain_to_reference,
 )
 from repro.hamiltonian import compress_hamiltonian, jordan_wigner
-from repro.parallel import DataParallelVMC
+from repro.parallel import (
+    DataParallelVMC,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 
 __version__ = "1.0.0"
 
@@ -55,5 +60,8 @@ __all__ = [
     "compress_hamiltonian",
     "jordan_wigner",
     "DataParallelVMC",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "__version__",
 ]

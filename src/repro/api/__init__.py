@@ -22,6 +22,7 @@ from repro.api.spec import (
     AnsatzSpec,
     OptimizerSpec,
     OutputSpec,
+    ParallelSpec,
     ProblemSpec,
     RunSpec,
     SamplingSpec,
@@ -33,12 +34,14 @@ from repro.api.spec import (
 )
 from repro.api.registry import (
     ANSATZE,
+    BACKENDS,
     ELOC_KERNELS,
     OPTIMIZERS,
     SAMPLERS,
     ComponentRegistry,
     UnknownComponentError,
     register_ansatz,
+    register_backend,
     register_eloc_kernel,
     register_optimizer,
     register_sampler,
@@ -47,6 +50,7 @@ import repro.api.builtins  # noqa: F401 — registers the built-in components
 from repro.api.driver import (
     RunResult,
     materialize_ansatz,
+    materialize_backend,
     materialize_problem,
     materialize_sampler,
     resume,
@@ -61,6 +65,7 @@ __all__ = [
     "AnsatzSpec",
     "OptimizerSpec",
     "SamplingSpec",
+    "ParallelSpec",
     "TrainSpec",
     "OutputSpec",
     "RunSpec",
@@ -73,14 +78,17 @@ __all__ = [
     "OPTIMIZERS",
     "SAMPLERS",
     "ELOC_KERNELS",
+    "BACKENDS",
     "register_ansatz",
     "register_optimizer",
     "register_sampler",
     "register_eloc_kernel",
+    "register_backend",
     "RunResult",
     "materialize_problem",
     "materialize_ansatz",
     "materialize_sampler",
+    "materialize_backend",
     "run",
     "resume",
     "serve_run",

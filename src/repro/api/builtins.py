@@ -16,6 +16,8 @@ Registered names:
   ``local_energy``) plus the raw Fig. 10 ladder ``baseline`` / ``sa_fuse``
   / ``sa_fuse_lut`` / ``vectorized`` (low-level signatures, see
   :mod:`repro.core.local_energy`).
+* backend: ``serial`` / ``threads`` / ``process`` — the execution backends
+  of :mod:`repro.core.engine` (the spec's ``parallel`` section).
 """
 from __future__ import annotations
 
@@ -23,10 +25,12 @@ import numpy as np
 
 from repro.api.registry import (
     register_ansatz,
+    register_backend,
     register_eloc_kernel,
     register_optimizer,
     register_sampler,
 )
+from repro.core.engine import ProcessBackend, SerialBackend, ThreadBackend
 from repro.core.hybrid_sampling import merged_batch_sample
 from repro.core.local_energy import (
     local_energy,
@@ -140,6 +144,34 @@ def build_mcmc_sampler(*, start_bits=None, n_burnin: int = 200, thin: int = 2):
         return batch
 
     return sample
+
+
+# ---------------------------------------------------------- execution backends
+@register_backend("serial")
+def build_serial_backend(n_ranks: int = 1, **params):
+    """The classic single-rank iteration (the default ``parallel`` section)."""
+    if n_ranks != 1:
+        raise ValueError(
+            f"the serial backend runs exactly one rank (got n_ranks={n_ranks}); "
+            "use parallel.backend=threads or =process for N_p > 1"
+        )
+    return SerialBackend()
+
+
+@register_backend("threads")
+def build_thread_backend(n_ranks: int = 1, *, nu_star_per_rank: int = 64,
+                         eloc_partition: str = "balanced"):
+    """FakeMPI thread ranks — the Fig. 4 data-parallel iteration in-process."""
+    return ThreadBackend(n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
+                         eloc_partition=eloc_partition)
+
+
+@register_backend("process")
+def build_process_backend(n_ranks: int = 1, *, nu_star_per_rank: int = 64,
+                          eloc_partition: str = "balanced"):
+    """Forked OS-process ranks (fork start method; Linux)."""
+    return ProcessBackend(n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
+                          eloc_partition=eloc_partition)
 
 
 # --------------------------------------------------------- local-energy ladder

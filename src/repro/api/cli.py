@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import driver, presets
-from repro.api.registry import ANSATZE, ELOC_KERNELS, OPTIMIZERS, SAMPLERS
+from repro.api.registry import ANSATZE, BACKENDS, ELOC_KERNELS, OPTIMIZERS, SAMPLERS
 from repro.api.spec import RunSpec, SpecError
 
 __all__ = ["main", "build_parser", "load_spec"]
@@ -119,7 +119,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                   f"iters={spec.train.max_iterations}")
         return 0
     if args.components:
-        for registry in (ANSATZE, OPTIMIZERS, SAMPLERS, ELOC_KERNELS):
+        for registry in (ANSATZE, OPTIMIZERS, SAMPLERS, ELOC_KERNELS, BACKENDS):
             print(f"{registry.kind}: {', '.join(registry.names())}")
         return 0
     if args.run_dir is None:
@@ -143,6 +143,9 @@ def _print_run_info(run_dir: Path) -> int:
              if spec.problem.n_frozen or spec.problem.n_active else ""))
     print(f"ansatz   {spec.ansatz.name}  optimizer {spec.optimizer.name}  "
           f"sampler {spec.sampling.sampler}")
+    if spec.parallel.backend != "serial" or spec.parallel.n_ranks > 1:
+        print(f"parallel {spec.parallel.backend} x {spec.parallel.n_ranks} "
+              f"({spec.parallel.eloc_partition} eloc partition)")
     metrics_path = run_dir / driver.METRICS_FILE
     if metrics_path.exists():
         rows = [json.loads(line) for line in metrics_path.read_text().splitlines()]

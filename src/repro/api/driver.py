@@ -39,8 +39,9 @@ from pathlib import Path
 import numpy as np
 
 import repro.api.builtins  # noqa: F401 — registers the built-in components
-from repro.api.registry import ANSATZE, OPTIMIZERS, SAMPLERS
+from repro.api.registry import ANSATZE, BACKENDS, OPTIMIZERS, SAMPLERS
 from repro.api.spec import AnsatzSpec, ProblemSpec, RunSpec, SpecError
+from repro.core.engine import SerialBackend
 from repro.chem import build_problem, run_fci
 from repro.chem.pipeline import MolecularProblem
 from repro.core.trainer import TrainConfig, Trainer, TrainReport, build_report
@@ -61,6 +62,7 @@ __all__ = [
     "materialize_problem",
     "materialize_ansatz",
     "materialize_sampler",
+    "materialize_backend",
     "run",
     "resume",
     "serve_run",
@@ -156,6 +158,38 @@ def materialize_sampler(spec: RunSpec, problem: MolecularProblem):
     return SAMPLERS.build(s.sampler, **params)
 
 
+def materialize_backend(spec: RunSpec):
+    """Build the execution backend named by the spec's ``parallel`` section.
+
+    A parallel backend (anything that communicates: ``threads`` / ``process``
+    or any ``n_ranks > 1``) rides the canonical Trainer path, so it requires
+    the ``adamw`` optimizer and the default BAS sampler — both restrictions
+    fail here, at materialization, with the spec field named.
+    """
+    p = spec.parallel
+    try:
+        backend = BACKENDS.build(
+            p.backend, p.n_ranks, nu_star_per_rank=p.nu_star_per_rank,
+            eloc_partition=p.eloc_partition,
+        )
+    except ValueError as exc:  # e.g. serial with n_ranks > 1
+        raise SpecError(f"parallel: {exc}") from None
+    if isinstance(backend, SerialBackend):
+        return backend
+    if spec.optimizer.name != "adamw":
+        raise SpecError(
+            f"parallel.backend={p.backend!r} runs the Trainer path, which "
+            f"requires optimizer.name='adamw'; got {spec.optimizer.name!r}"
+        )
+    if p.n_ranks > 1 and (spec.sampling.sampler != "bas" or spec.sampling.params):
+        raise SpecError(
+            "parallel.n_ranks > 1 requires the default 'bas' sampler with no "
+            f"params (the Fig. 5 prefix-sweep split); got "
+            f"sampling.sampler={spec.sampling.sampler!r}"
+        )
+    return backend
+
+
 def _resolve_reference(spec: RunSpec, problem: MolecularProblem) -> float | None:
     ref = spec.output.reference
     if ref is None:
@@ -240,12 +274,14 @@ def run(spec: RunSpec | dict, run_dir: str | Path | None = None,
     wf = materialize_ansatz(spec.ansatz, problem)
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
+    backend = materialize_backend(spec)
     e_ref = _resolve_reference(spec, problem)
     spec.save(target / SPEC_FILE)
 
     if spec.optimizer.name == "adamw":
         OPTIMIZERS.get("adamw")  # name must be registered like any other
-        trainer = _build_trainer(spec, target, problem, wf, sampler, e_ref)
+        trainer = _build_trainer(spec, target, problem, wf, sampler, backend,
+                                 e_ref)
         report = trainer.train(on_iteration=_publisher(spec, target, wf))
     else:
         report = _run_step_protocol(spec, target, problem, wf, sampler, e_ref)
@@ -269,7 +305,7 @@ def _require_autoregressive(spec: RunSpec, wf) -> None:
 
 
 def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
-                   wf, sampler, e_ref: float | None) -> Trainer:
+                   wf, sampler, backend, e_ref: float | None) -> Trainer:
     cfg = TrainConfig(
         max_iterations=spec.train.max_iterations,
         pretrain_steps=spec.train.pretrain_steps,
@@ -285,6 +321,10 @@ def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
         grad_clip=spec.optimizer.grad_clip,
         seed=spec.train.seed,
         sampler=sampler,
+        backend=backend,
+        group_chunk=spec.parallel.group_chunk,
+        sample_chunk=spec.parallel.sample_chunk,
+        eloc_memory_budget_mb=spec.parallel.eloc_memory_budget_mb,
         plateau_window=spec.train.plateau_window,
         plateau_rel_tol=spec.train.plateau_rel_tol,
         early_stop=spec.train.early_stop,
@@ -337,8 +377,15 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
             emit({"event": "pretrain", "pi_hf": pi})
         for i in range(spec.train.max_iterations):
             batch = sample(wf, schedule(i), rng)
-            eloc, _ = local_energy(wf, comp, batch,
-                                   mode=spec.sampling.eloc_mode)
+            eloc, _ = local_energy(
+                wf, comp, batch, mode=spec.sampling.eloc_mode,
+                group_chunk=spec.parallel.group_chunk,
+                sample_chunk=spec.parallel.sample_chunk,
+                memory_budget_bytes=(
+                    None if spec.parallel.eloc_memory_budget_mb is None
+                    else int(spec.parallel.eloc_memory_budget_mb * 2**20)
+                ),
+            )
             info = opt.step(batch, eloc)
             w = batch.weights / batch.weights.sum()
             energy = float(np.sum(w * eloc.real))
@@ -400,8 +447,10 @@ def resume(run_dir: str | Path,
     wf = materialize_ansatz(spec.ansatz, problem)
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
+    backend = materialize_backend(spec)
     e_ref = _resolve_reference(spec, problem)
-    trainer = _build_trainer(spec, run_dir, problem, wf, sampler, e_ref)
+    trainer = _build_trainer(spec, run_dir, problem, wf, sampler, backend,
+                             e_ref)
     trainer.resume(ckpt)
     start_iteration = trainer.vmc.iteration
     report = trainer.train(on_iteration=_publisher(spec, run_dir, wf))

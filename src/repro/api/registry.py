@@ -26,6 +26,9 @@ Builder contracts (what the driver calls):
 * **eloc_kernel**: ``kernel(wf, comp, batch, table=None) ->
   (eloc, AmplitudeTable)`` — the signature of
   :func:`repro.core.local_energy.local_energy`.
+* **backend**: ``factory(n_ranks, *, nu_star_per_rank, eloc_partition) ->
+  ExecutionBackend`` — an execution backend of
+  :mod:`repro.core.engine` (the spec's ``parallel.backend`` choice).
 
 Unknown names raise :class:`UnknownComponentError` listing what *is*
 registered, so a typo'd spec fails at materialization with an actionable
@@ -42,10 +45,12 @@ __all__ = [
     "OPTIMIZERS",
     "SAMPLERS",
     "ELOC_KERNELS",
+    "BACKENDS",
     "register_ansatz",
     "register_optimizer",
     "register_sampler",
     "register_eloc_kernel",
+    "register_backend",
 ]
 
 
@@ -107,6 +112,7 @@ ANSATZE = ComponentRegistry("ansatz")
 OPTIMIZERS = ComponentRegistry("optimizer")
 SAMPLERS = ComponentRegistry("sampler")
 ELOC_KERNELS = ComponentRegistry("eloc_kernel")
+BACKENDS = ComponentRegistry("backend")
 
 
 def register_ansatz(name: str, builder: Callable | None = None,
@@ -127,3 +133,8 @@ def register_sampler(name: str, builder: Callable | None = None,
 def register_eloc_kernel(name: str, builder: Callable | None = None,
                          *, overwrite: bool = False):
     return ELOC_KERNELS.register(name, builder, overwrite=overwrite)
+
+
+def register_backend(name: str, builder: Callable | None = None,
+                     *, overwrite: bool = False):
+    return BACKENDS.register(name, builder, overwrite=overwrite)

@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
-from repro.core.vmc import ELOC_MODES
+from repro.core.engine import ELOC_MODES, ELOC_PARTITIONS
 
 __all__ = [
     "SpecError",
@@ -32,6 +32,7 @@ __all__ = [
     "AnsatzSpec",
     "OptimizerSpec",
     "SamplingSpec",
+    "ParallelSpec",
     "TrainSpec",
     "OutputSpec",
     "RunSpec",
@@ -218,6 +219,49 @@ class SamplingSpec(_Spec):
 
 
 @dataclass
+class ParallelSpec(_Spec):
+    """Execution backend choice — the Fig. 4 data-parallel iteration as data.
+
+    ``backend`` names a registered execution backend (``serial`` /
+    ``threads`` / ``process``); ``n_ranks`` and ``nu_star_per_rank`` map to
+    the paper's N_p and N_u^*/N_p; ``eloc_partition`` selects the Sec. 3.3
+    weight-balanced local-energy chunking (or ``contiguous`` for the naive
+    1/N_p split); the chunking/budget knobs feed the vectorized kernel.
+    """
+
+    _SECTION = "parallel"
+
+    backend: str = "serial"
+    n_ranks: int = 1
+    nu_star_per_rank: int = 64
+    eloc_partition: str = "balanced"
+    group_chunk: int = 512
+    sample_chunk: int = 4096
+    eloc_memory_budget_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.backend, str) and bool(self.backend),
+                 "parallel.backend", "must be a registered backend name")
+        _require(isinstance(self.n_ranks, int) and self.n_ranks > 0,
+                 "parallel.n_ranks", f"must be a positive int, got {self.n_ranks!r}")
+        _require(isinstance(self.nu_star_per_rank, int) and self.nu_star_per_rank > 0,
+                 "parallel.nu_star_per_rank",
+                 f"must be a positive int, got {self.nu_star_per_rank!r}")
+        _require(self.eloc_partition in ELOC_PARTITIONS,
+                 "parallel.eloc_partition",
+                 f"must be one of {ELOC_PARTITIONS}, got {self.eloc_partition!r}")
+        for attr in ("group_chunk", "sample_chunk"):
+            v = getattr(self, attr)
+            _require(isinstance(v, int) and v > 0,
+                     f"parallel.{attr}", f"must be a positive int, got {v!r}")
+        _require(self.eloc_memory_budget_mb is None
+                 or (isinstance(self.eloc_memory_budget_mb, (int, float))
+                     and self.eloc_memory_budget_mb > 0),
+                 "parallel.eloc_memory_budget_mb",
+                 f"must be None or positive, got {self.eloc_memory_budget_mb!r}")
+
+
+@dataclass
 class TrainSpec(_Spec):
     """Loop budget, warm start, and stopping policy (Sec. 4.1 protocol)."""
 
@@ -285,6 +329,7 @@ class RunSpec(_Spec):
     ansatz: AnsatzSpec = field(default_factory=AnsatzSpec)
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
+    parallel: ParallelSpec = field(default_factory=ParallelSpec)
     train: TrainSpec = field(default_factory=TrainSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
 
@@ -327,6 +372,7 @@ _SUBSPEC_TYPES = {
     (RunSpec, "ansatz"): AnsatzSpec,
     (RunSpec, "optimizer"): OptimizerSpec,
     (RunSpec, "sampling"): SamplingSpec,
+    (RunSpec, "parallel"): ParallelSpec,
     (RunSpec, "train"): TrainSpec,
     (RunSpec, "output"): OutputSpec,
 }

@@ -37,6 +37,12 @@ SNAPSHOT_FORMAT = 2  # bumped when the on-disk layout changes
 _HISTORY_FIELDS = (
     "iteration", "energy", "variance", "n_unique", "n_samples", "lr", "eloc_imag",
 )
+# Engine-backend extras (repro.core.engine.VMCStats): optional in the payload
+# so pre-engine checkpoints restore unchanged.  comm_bytes uses -1 for "no
+# communicator" (the serial backend's None).
+_HISTORY_EXTRAS = (
+    "wall_time", "time_sampling", "time_local_energy", "time_gradient",
+)
 
 
 # --------------------------------------------------------------- wavefunction
@@ -111,8 +117,14 @@ def save_checkpoint(vmc: VMC, path: str | Path) -> None:
         # Legacy key, kept so pre-format-2 readers still find the curve.
         "energies": np.array([s.energy for s in vmc.history]),
     }
-    for f in _HISTORY_FIELDS:
+    for f in _HISTORY_FIELDS + _HISTORY_EXTRAS:
         payload[f"hist_{f}"] = np.array([getattr(s, f) for s in vmc.history])
+    payload["hist_comm_bytes"] = np.array(
+        [-1 if s.comm_bytes is None else int(s.comm_bytes) for s in vmc.history]
+    )
+    payload["hist_per_rank_unique"] = np.array(
+        json.dumps([s.per_rank_unique for s in vmc.history])
+    )
     if opt._m is not None:
         payload["opt_m"] = np.concatenate([m.reshape(-1) for m in opt._m])
         payload["opt_v"] = np.concatenate([v.reshape(-1) for v in opt._v])
@@ -129,6 +141,15 @@ def _restore_history(vmc: VMC, data) -> None:
     """Rebuild ``vmc.history`` so ``best_energy()`` sees pre-resume iterations."""
     if "hist_energy" in data:
         cols = {f: data[f"hist_{f}"] for f in _HISTORY_FIELDS}
+        n = len(cols["energy"])
+        extras = {
+            f: (data[f"hist_{f}"] if f"hist_{f}" in data else np.zeros(n))
+            for f in _HISTORY_EXTRAS
+        }
+        comm = (data["hist_comm_bytes"] if "hist_comm_bytes" in data
+                else np.full(n, -1))
+        per_rank = (json.loads(data["hist_per_rank_unique"].item())
+                    if "hist_per_rank_unique" in data else [None] * n)
         vmc.history = [
             VMCStats(
                 iteration=int(cols["iteration"][i]),
@@ -138,8 +159,14 @@ def _restore_history(vmc: VMC, data) -> None:
                 n_samples=int(cols["n_samples"][i]),
                 lr=float(cols["lr"][i]),
                 eloc_imag=float(cols["eloc_imag"][i]),
+                wall_time=float(extras["wall_time"][i]),
+                time_sampling=float(extras["time_sampling"][i]),
+                time_local_energy=float(extras["time_local_energy"][i]),
+                time_gradient=float(extras["time_gradient"][i]),
+                comm_bytes=None if int(comm[i]) < 0 else int(comm[i]),
+                per_rank_unique=per_rank[i],
             )
-            for i in range(len(cols["energy"]))
+            for i in range(n)
         ]
     elif "energies" in data:
         # Pre-format-2 checkpoint: energies only — restore a minimal history

@@ -1,0 +1,629 @@
+"""The unified VMC execution engine: one staged iteration, many backends.
+
+Every execution backend — serial, thread ranks, forked process ranks — runs
+the *same* per-iteration stage functions, in the data-centric order of
+Fig. 4 (Sec. 3.2):
+
+  stage 1  sample           parallel BAS (Fig. 5) for N_p > 1: identical
+                            seeded prefix sweep to the dynamic split step k,
+                            then each rank finishes its weight-balanced share
+                            of the layer-k nodes; a single rank runs the
+                            plain serial sweep on the engine's persistent RNG
+                            (bit-identical to the serial backend).
+  stage 2  gather/table     Allgather of (packed unique samples, weights,
+                            log amplitudes); lexsorted into the global
+                            amplitude table (Algorithm 2's id_lut/wf_lut).
+  stage 3  eloc shard       each rank evaluates local energies for its
+                            weight-balanced chunk of the global unique set
+                            (Sec. 3.3 load balancing) against the table.
+  stage 4  energy reduce    Allreduce of the weighted energy sums.
+  stage 5  backward         Eq. 7 surrogate loss + backward on the chunk.
+  stage 6  gradient reduce  one Allreduce carries the gradient *and* the
+                            centered second moment (variance), so parallel
+                            histories report variance/eloc_imag exactly like
+                            serial ones.
+
+The reduced gradient flows back to the engine, which applies the single
+clip -> schedule -> optimizer update (exactly one implementation of the
+Eq. 7 update, shared by all backends).  Reductions are rank-ordered and
+therefore deterministic: ``n_ranks=1`` is bit-identical to the serial
+backend, and ``n_ranks>1`` is run-to-run reproducible.
+
+Backends are thin schedulers over the stages:
+
+* :class:`SerialBackend`  — the stages inline, on a size-1 communicator.
+* :class:`ThreadBackend`  — FakeMPI thread ranks (numpy kernels release the
+  GIL, so stages 1/3/5 genuinely overlap on multicore hosts).
+* :class:`ProcessBackend` — forked OS processes over
+  :func:`repro.parallel.multiprocess.run_spmd_processes`.
+
+The "engine" object the backends drive is any object with the VMC state
+surface (``wf``, ``comp``, ``config``, ``rng``, ``optimizer``, ``schedule``,
+``iteration``, ``backend``) — in practice :class:`repro.core.vmc.VMC`, which
+keeps the checkpoint/resume format unchanged.
+"""
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core.local_energy import (
+    AmplitudeTable,
+    extend_amplitude_table,
+    local_energy_vectorized,
+)
+from repro.core.sampler import (
+    SampleBatch,
+    bas_prefix_sweep,
+    batch_autoregressive_sample,
+)
+from repro.utils.bitstrings import lexsort_keys, pack_bits, unpack_bits
+
+__all__ = [
+    "ELOC_MODES",
+    "ELOC_PARTITIONS",
+    "VMCConfig",
+    "VMCStats",
+    "stats_record",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "stage_sample",
+    "stage_sample_parallel",
+    "stage_gather_table",
+    "stage_partition",
+    "stage_local_energy",
+    "stage_backward",
+    "stage_update",
+    "execute_iteration",
+]
+
+ELOC_MODES = ("exact", "sample_aware")
+ELOC_PARTITIONS = ("balanced", "contiguous")
+
+
+@dataclass
+class VMCConfig:
+    n_samples: int | Callable[[int], int] = 10**5
+    eloc_mode: str = "exact"          # 'exact' | 'sample_aware'
+    lr_scale: float = 1.0             # rescales the Eq. 13 schedule
+    warmup: int = 4000
+    weight_decay: float = 0.01
+    grad_clip: float | None = 1.0     # max-norm clip (stabilizes small batches)
+    seed: int = 0
+    # Pluggable sampler fn(wf, n_samples, rng) -> SampleBatch; None keeps the
+    # default batch autoregressive sweep (see repro.api sampler registry).
+    # Parallel backends (n_ranks > 1) require the default: a custom sampler
+    # cannot be split across ranks by the Fig. 5 prefix-sweep scheme.
+    sampler: Callable | None = None
+    # Local-energy kernel chunking (Sec. 3.4 / Fig. 9 memory story): the
+    # vectorized kernel materializes (sample_chunk x group_chunk) packed keys
+    # at a time; eloc_memory_budget_mb caps that materialization, shrinking
+    # sample_chunk automatically on wide Hamiltonians.
+    group_chunk: int = 512
+    sample_chunk: int = 4096
+    eloc_memory_budget_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if not callable(self.n_samples) and self.n_samples <= 0:
+            raise ValueError(
+                f"VMCConfig.n_samples must be positive, got {self.n_samples!r}"
+            )
+        if self.eloc_mode not in ELOC_MODES:
+            raise ValueError(
+                f"VMCConfig.eloc_mode must be one of {ELOC_MODES}, "
+                f"got {self.eloc_mode!r}"
+            )
+        if self.lr_scale <= 0:
+            raise ValueError(
+                f"VMCConfig.lr_scale must be positive, got {self.lr_scale!r}"
+            )
+        if self.warmup <= 0:
+            raise ValueError(
+                f"VMCConfig.warmup must be positive, got {self.warmup!r}"
+            )
+        if self.weight_decay < 0:
+            raise ValueError(
+                f"VMCConfig.weight_decay must be >= 0, got {self.weight_decay!r}"
+            )
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError(
+                f"VMCConfig.grad_clip must be None or positive, "
+                f"got {self.grad_clip!r}"
+            )
+        if not isinstance(self.group_chunk, int) or self.group_chunk <= 0:
+            raise ValueError(
+                f"VMCConfig.group_chunk must be a positive int, "
+                f"got {self.group_chunk!r}"
+            )
+        if not isinstance(self.sample_chunk, int) or self.sample_chunk <= 0:
+            raise ValueError(
+                f"VMCConfig.sample_chunk must be a positive int, "
+                f"got {self.sample_chunk!r}"
+            )
+        if self.eloc_memory_budget_mb is not None and self.eloc_memory_budget_mb <= 0:
+            raise ValueError(
+                "VMCConfig.eloc_memory_budget_mb must be None or positive, "
+                f"got {self.eloc_memory_budget_mb!r}"
+            )
+
+    def eloc_memory_budget_bytes(self) -> int | None:
+        if self.eloc_memory_budget_mb is None:
+            return None
+        return int(self.eloc_memory_budget_mb * 2**20)
+
+
+@dataclass
+class VMCStats:
+    """One iteration's record — the same shape on every backend.
+
+    The parallel fields default to their serial values (``comm_bytes`` /
+    ``per_rank_unique`` are ``None`` on the serial backend), so one history
+    type feeds ``best_energy``, the Trainer's metrics log, checkpoints and
+    the scaling benches regardless of how the iteration executed.  Equality
+    compares the *trajectory* (energies, counts, comm volume) — wall-clock
+    timings are excluded, so bit-identical runs compare equal.
+    """
+
+    iteration: int
+    energy: float
+    variance: float
+    n_unique: int
+    n_samples: int
+    lr: float
+    eloc_imag: float  # residual imaginary part of the energy (sanity signal)
+    wall_time: float = field(default=0.0, compare=False)
+    time_sampling: float = field(default=0.0, compare=False)  # max over ranks
+    time_local_energy: float = field(default=0.0, compare=False)
+    time_gradient: float = field(default=0.0, compare=False)
+    comm_bytes: int | None = None     # None: no communicator (serial backend)
+    per_rank_unique: list[int] | None = field(default=None)
+
+
+def stats_record(stats: VMCStats) -> dict:
+    """The metrics.jsonl form of one iteration's stats.
+
+    Serial iterations keep the historical six-field record; iterations that
+    ran on a communicating backend additionally carry the comm volume and the
+    per-rank decomposition (asserted by the CI parallel smoke step).
+    """
+    rec = {
+        "iteration": stats.iteration,
+        "energy": stats.energy,
+        "variance": stats.variance,
+        "n_unique": stats.n_unique,
+        "n_samples": stats.n_samples,
+        "lr": stats.lr,
+    }
+    if stats.comm_bytes is not None:
+        rec.update(
+            comm_bytes=stats.comm_bytes,
+            wall_time=stats.wall_time,
+            time_sampling=stats.time_sampling,
+            time_local_energy=stats.time_local_energy,
+            time_gradient=stats.time_gradient,
+            per_rank_unique=list(stats.per_rank_unique or []),
+        )
+    return rec
+
+
+# --------------------------------------------------------------------------
+# Stage functions (the one implementation every backend schedules)
+# --------------------------------------------------------------------------
+def stage_sample(wf, n_samples: int, rng: np.random.Generator,
+                 sampler: Callable | None = None) -> SampleBatch:
+    """Stage 1, single rank: one BAS sweep (or a custom sampler hook)."""
+    sample = sampler or batch_autoregressive_sample
+    return sample(wf, n_samples, rng)
+
+
+def stage_sample_parallel(wf, n_samples: int, seed: int, iteration: int,
+                          nu_star: int, comm) -> SampleBatch:
+    """Stage 1, N_p ranks: the parallel BAS of Fig. 5.
+
+    Every rank replays the identical seeded prefix sweep up to the dynamic
+    split step k (first layer holding >= N_u^* unique prefixes), takes its
+    weight-balanced share of the layer-k nodes, and finishes the subtree with
+    a rank-private stream.  Streams are derived from (seed, iteration, rank),
+    so the iteration is reproducible from the checkpointed iteration counter
+    alone — no RNG state crosses ranks.
+    """
+    from repro.parallel.partition import split_tree_state
+
+    rank, size = comm.Get_rank(), comm.Get_size()
+    shared_rng = np.random.default_rng((seed, iteration, 0xBA5))
+    state = bas_prefix_sweep(wf, n_samples, shared_rng, nu_star)
+    my_state = split_tree_state(state, size)[rank]
+    cont_rng = np.random.default_rng((seed, iteration, rank + 1))
+    return batch_autoregressive_sample(wf, 0, cont_rng, start=my_state)
+
+
+def stage_gather_table(comm, wf, local: SampleBatch):
+    """Stage 2: Allgather the unique sets; build the global amplitude table.
+
+    Returns ``(keys, weights, table)`` with the global unique set lexsorted —
+    the rank-independent canonical order every chunk indexes into.
+    """
+    local_keys = pack_bits(local.bits)
+    local_amps = wf.log_amplitudes(local.bits)
+    gathered = comm.allgather(
+        (local_keys, local.weights.astype(np.int64), local_amps)
+    )
+    keys = np.concatenate([g[0] for g in gathered], axis=0)
+    weights = np.concatenate([g[1] for g in gathered])
+    amps = np.concatenate([g[2] for g in gathered])
+    order = lexsort_keys(keys)
+    keys, weights, amps = keys[order], weights[order], amps[order]
+    return keys, weights, AmplitudeTable(keys=keys, log_amps=amps)
+
+
+def stage_partition(weights: np.ndarray, n_ranks: int,
+                    mode: str = "balanced") -> list[np.ndarray]:
+    """Stage 3 prologue: split the global unique set into per-rank chunks.
+
+    ``balanced`` (default) reuses the Sec. 3.3 weight-balancing heuristic —
+    contiguous cuts of ~equal total sample weight — instead of the naive
+    contiguous ``1/N_p`` count split (kept as ``contiguous`` for the
+    benchmark comparison).
+    """
+    if mode == "balanced":
+        from repro.parallel.partition import balanced_weight_partition
+
+        return balanced_weight_partition(weights, n_ranks)
+    if mode != "contiguous":
+        raise ValueError(
+            f"eloc partition mode must be one of {ELOC_PARTITIONS}, got {mode!r}"
+        )
+    n = len(weights)
+    return [
+        np.arange(r * n // n_ranks, (r + 1) * n // n_ranks, dtype=np.int64)
+        for r in range(n_ranks)
+    ]
+
+
+def stage_local_energy(wf, comp, chunk: SampleBatch, table: AmplitudeTable,
+                       config: VMCConfig) -> np.ndarray:
+    """Stage 3: local energies of one chunk against the global table."""
+    tbl = table
+    if config.eloc_mode == "exact":
+        tbl = extend_amplitude_table(wf, comp, chunk, table)
+    return local_energy_vectorized(
+        comp, chunk, tbl,
+        group_chunk=config.group_chunk,
+        sample_chunk=config.sample_chunk,
+        memory_budget_bytes=config.eloc_memory_budget_bytes(),
+    )
+
+
+def stage_backward(wf, chunk: SampleBatch, w_norm: np.ndarray,
+                   eloc: np.ndarray, e_mean: float,
+                   e_imag: float) -> np.ndarray:
+    """Stage 5: Eq. 7 surrogate loss + backward; returns the flat gradient.
+
+    grad = E_p[ Re(E_loc - E) grad log pi(x) ] + 2 E_p[ Im(E_loc - E) grad phi(x) ]
+
+    implemented as a scalar loss with stop-gradient coefficients.
+    """
+    wf.zero_grad()
+    coeff_amp = w_norm * (eloc.real - e_mean)
+    coeff_phase = 2.0 * w_norm * (eloc.imag - e_imag)
+    logp = wf.log_prob(chunk.bits)
+    phi = wf.phase_of(chunk.bits)
+    loss = (Tensor(coeff_amp) * logp).sum() + (Tensor(coeff_phase) * phi).sum()
+    loss.backward()
+    return wf.get_flat_grads()
+
+
+def stage_update(engine, grad: np.ndarray) -> None:
+    """Stage 6 epilogue: clip -> Eq. 13 schedule -> AdamW step, on the master.
+
+    The single implementation of the parameter update; backends hand the
+    engine one reduced gradient and never touch the optimizer themselves.
+    """
+    grad = np.asarray(grad)
+    clip = engine.config.grad_clip
+    if clip is not None:
+        norm = np.linalg.norm(grad)
+        if norm > clip:
+            grad = grad * (clip / norm)
+    engine.wf.set_flat_grads(grad)
+    engine.schedule.step()
+    engine.optimizer.step()
+
+
+# --------------------------------------------------------------------------
+# The per-rank iteration body (shared verbatim by every backend)
+# --------------------------------------------------------------------------
+def _rank_iteration(engine, comm, wf, rng, nu_star: int,
+                    eloc_partition: str) -> dict:
+    """Run stages 1-6 as one rank of ``comm``; returns the rank's results.
+
+    With a size-1 communicator this *is* the serial iteration: the sample
+    stage consumes the engine's persistent RNG, the collectives are
+    identities, and the chunk is the whole unique set — which is what makes
+    ``ThreadBackend(n_ranks=1)`` bit-identical to :class:`SerialBackend`.
+    """
+    cfg: VMCConfig = engine.config
+    size = comm.Get_size()
+    rank = comm.Get_rank()
+    n_samples = engine._n_samples()
+    times = {}
+
+    # ---- stage 1: sample ---------------------------------------------------
+    t0 = time.perf_counter()
+    if size == 1:
+        local = stage_sample(wf, n_samples, rng, sampler=cfg.sampler)
+    else:
+        if cfg.sampler is not None:
+            raise ValueError(
+                "custom samplers cannot be split across ranks; parallel "
+                "backends require the default BAS sampler"
+            )
+        local = stage_sample_parallel(
+            wf, n_samples, cfg.seed, engine.iteration, nu_star, comm
+        )
+    times["sampling"] = time.perf_counter() - t0
+
+    # ---- stage 2: allgather + global amplitude table -----------------------
+    keys, weights, table = stage_gather_table(comm, wf, local)
+    n_u = len(weights)
+
+    # ---- stage 3: local energy on this rank's chunk ------------------------
+    t0 = time.perf_counter()
+    idx = stage_partition(weights, size, eloc_partition)[rank]
+    chunk = SampleBatch(
+        bits=unpack_bits(keys[idx], engine.comp.n_qubits),
+        weights=weights[idx],
+    )
+    eloc = stage_local_energy(wf, engine.comp, chunk, table, cfg)
+    times["local_energy"] = time.perf_counter() - t0
+
+    # ---- stage 4: allreduce the weighted energy sums -----------------------
+    w_chunk = chunk.weights.astype(np.float64)
+    local_sums = np.array(
+        [np.sum(w_chunk * eloc.real), np.sum(w_chunk * eloc.imag), w_chunk.sum()]
+    )
+    sums = comm.allreduce_sum(local_sums)
+    e_mean = sums[0] / sums[2]
+    e_imag = sums[1] / sums[2]
+
+    # ---- stage 5: Eq. 7 backward on the chunk ------------------------------
+    t0 = time.perf_counter()
+    grad = stage_backward(wf, chunk, w_chunk / sums[2], eloc, e_mean, e_imag)
+    times["gradient"] = time.perf_counter() - t0
+
+    # ---- stage 6: one allreduce for the gradient + centered 2nd moment -----
+    var_local = np.array([np.sum(w_chunk * (eloc.real - e_mean) ** 2)])
+    packed = comm.allreduce_sum(np.concatenate([grad, var_local]))
+    grad_total, variance = packed[:-1], float(packed[-1] / sums[2])
+
+    return {
+        "grad": grad_total,
+        "energy": float(e_mean),
+        "eloc_imag": float(abs(e_imag)),
+        "variance": variance,
+        "n_unique": int(n_u),
+        "n_local_unique": int(local.n_unique),
+        "n_samples": int(n_samples),
+        "times": times,
+    }
+
+
+class _SoloComm:
+    """Size-1 communicator with FakeComm's surface and identical arithmetic.
+
+    ``allreduce_sum`` uses the same ``np.sum([x], axis=0)`` expression as
+    :class:`~repro.parallel.fake_mpi.FakeComm`, so a serial iteration and a
+    one-thread-rank iteration reduce bit-identically.
+    """
+
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 1
+
+    def allgather(self, payload) -> list:
+        return [payload]
+
+    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        return np.sum([np.asarray(array)], axis=0)
+
+    def bcast(self, array, root: int = 0):
+        return array
+
+
+# --------------------------------------------------------------------------
+# Backends: thin schedulers over the stages
+# --------------------------------------------------------------------------
+class ExecutionBackend:
+    """How the staged iteration executes; subclasses schedule the stages.
+
+    ``execute(engine)`` runs stages 1-6 and returns ``(rank_results,
+    comm_bytes)``; the engine then applies the single parameter update and
+    calls ``after_update`` so the backend can resync any rank replicas.
+    """
+
+    name = "?"
+    n_ranks = 1
+
+    def execute(self, engine) -> tuple[list[dict], int | None]:
+        raise NotImplementedError
+
+    def after_update(self, engine) -> None:  # pragma: no cover - default hook
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_ranks={self.n_ranks})"
+
+
+class SerialBackend(ExecutionBackend):
+    """The stages inline on a size-1 communicator (the classic serial VMC)."""
+
+    name = "serial"
+    n_ranks = 1
+
+    def execute(self, engine) -> tuple[list[dict], int | None]:
+        result = _rank_iteration(
+            engine, _SoloComm(), engine.wf, engine.rng,
+            nu_star=0, eloc_partition="balanced",
+        )
+        return [result], None
+
+
+def _validate_rank_args(n_ranks: int, eloc_partition: str) -> None:
+    if not isinstance(n_ranks, int) or n_ranks < 1:
+        raise ValueError(f"n_ranks must be a positive int, got {n_ranks!r}")
+    if eloc_partition not in ELOC_PARTITIONS:
+        raise ValueError(
+            f"eloc_partition must be one of {ELOC_PARTITIONS}, "
+            f"got {eloc_partition!r}"
+        )
+
+
+class ThreadBackend(ExecutionBackend):
+    """FakeMPI thread ranks; one model replica per rank (Fig. 4 data layout).
+
+    N_u^* = ``nu_star_per_rank * n_ranks``, following the paper's scaling
+    setup (N_u^* = 16384 n for n GPUs).  With ``n_ranks=1`` the iteration is
+    bit-identical to :class:`SerialBackend`: same RNG stream, same stage
+    arithmetic, degenerate collectives.
+    """
+
+    name = "threads"
+
+    def __init__(self, n_ranks: int, nu_star_per_rank: int = 64,
+                 eloc_partition: str = "balanced"):
+        _validate_rank_args(n_ranks, eloc_partition)
+        self.n_ranks = n_ranks
+        self.nu_star_per_rank = nu_star_per_rank
+        self.eloc_partition = eloc_partition
+        self.replicas: list | None = None
+
+    def _sync_replicas(self, engine) -> np.ndarray:
+        if self.replicas is None:
+            self.replicas = [
+                copy.deepcopy(engine.wf) for _ in range(self.n_ranks)
+            ]
+        flat = engine.wf.get_flat_params()
+        for rep in self.replicas:
+            rep.set_flat_params(flat)
+        return flat
+
+    def execute(self, engine) -> tuple[list[dict], int | None]:
+        from repro.parallel.fake_mpi import run_spmd
+
+        # Sync before every execute (not just after updates): the master may
+        # have moved outside the engine step — checkpoint restore, pretrain.
+        flat = self._sync_replicas(engine)
+        nu_star = self.nu_star_per_rank * self.n_ranks
+        rng = engine.rng  # consumed only on the size-1 (serial-identical) path
+
+        def rank_fn(comm):
+            return _rank_iteration(
+                engine, comm, self.replicas[comm.Get_rank()], rng,
+                nu_star=nu_star, eloc_partition=self.eloc_partition,
+            )
+
+        results, stats = run_spmd(self.n_ranks, rank_fn)
+        # The post-update parameter resync is the stage-6 broadcast, realized
+        # through shared memory — account its bytes like the collectives.
+        comm_bytes = stats.total_bytes + flat.nbytes * self.n_ranks
+        return results, comm_bytes
+
+    def after_update(self, engine) -> None:
+        # Keep replicas in lockstep with the master between iterations (the
+        # parameter broadcast of Fig. 4 stage 6).
+        self._sync_replicas(engine)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Forked OS-process ranks over ``run_spmd_processes`` (fork-only, Linux).
+
+    Each iteration forks ``n_ranks`` workers that inherit the current
+    parameters; the reduced gradient (and, on the size-1 path, the advanced
+    RNG state) is shipped back to the parent, which applies the update.
+    """
+
+    name = "process"
+
+    def __init__(self, n_ranks: int, nu_star_per_rank: int = 64,
+                 eloc_partition: str = "balanced", timeout: float = 600.0):
+        _validate_rank_args(n_ranks, eloc_partition)
+        self.n_ranks = n_ranks
+        self.nu_star_per_rank = nu_star_per_rank
+        self.eloc_partition = eloc_partition
+        self.timeout = timeout
+
+    def execute(self, engine) -> tuple[list[dict], int | None]:
+        from repro.parallel.multiprocess import run_spmd_processes
+
+        nu_star = self.nu_star_per_rank * self.n_ranks
+        param_bytes = sum(p.data.nbytes for p in engine.wf.parameters())
+
+        def rank_fn(comm):
+            out = _rank_iteration(
+                engine, comm, engine.wf, engine.rng,
+                nu_star=nu_star, eloc_partition=self.eloc_partition,
+            )
+            if comm.Get_size() == 1:
+                # The serial-identical path consumed the fork's private copy
+                # of the RNG; ship its state back so the parent's stream
+                # continues exactly where the child stopped.
+                out["rng_state"] = engine.rng.bit_generator.state
+            if comm.Get_rank() != 0:
+                out["grad"] = None  # identical on every rank; pickle it once
+            return out
+
+        results, stats = run_spmd_processes(self.n_ranks, rank_fn,
+                                            timeout=self.timeout)
+        state = results[0].pop("rng_state", None)
+        if state is not None:
+            engine.rng.bit_generator.state = state
+        comm_bytes = stats.total_bytes + param_bytes * self.n_ranks
+        return results, comm_bytes
+
+
+# --------------------------------------------------------------------------
+# The engine step: backend-scheduled stages + the single update
+# --------------------------------------------------------------------------
+def execute_iteration(engine) -> VMCStats:
+    """One full VMC iteration of ``engine`` on its backend.
+
+    Runs the staged pipeline, applies the reduced gradient through
+    :func:`stage_update`, advances the iteration counter and returns the
+    unified stats record (the caller owns history bookkeeping).
+    """
+    backend: ExecutionBackend = engine.backend
+    t_wall = time.perf_counter()
+    results, comm_bytes = backend.execute(engine)
+    r0 = results[0]
+    stage_update(engine, r0["grad"])
+    backend.after_update(engine)
+    wall = time.perf_counter() - t_wall
+
+    engine.iteration += 1
+    return VMCStats(
+        iteration=engine.iteration,
+        energy=r0["energy"],
+        variance=r0["variance"],
+        n_unique=r0["n_unique"],
+        n_samples=r0["n_samples"],
+        lr=engine.optimizer.lr,
+        eloc_imag=r0["eloc_imag"],
+        wall_time=wall,
+        time_sampling=max(r["times"]["sampling"] for r in results),
+        time_local_energy=max(r["times"]["local_energy"] for r in results),
+        time_gradient=max(r["times"]["gradient"] for r in results),
+        comm_bytes=comm_bytes,
+        per_rank_unique=(
+            None if comm_bytes is None
+            else [r["n_local_unique"] for r in results]
+        ),
+    )

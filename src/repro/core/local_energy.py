@@ -54,6 +54,7 @@ __all__ = [
     "local_energy_sa_fuse",
     "local_energy_sa_fuse_lut",
     "local_energy_vectorized",
+    "budgeted_sample_chunk",
     "local_energy",
 ]
 
@@ -304,20 +305,50 @@ def local_energy_sa_fuse_lut(
 # --------------------------------------------------------------------------
 # Level 3: the batch-vectorized kernel (the GPU substitute, Algorithm 2)
 # --------------------------------------------------------------------------
+def budgeted_sample_chunk(
+    n_words: int,
+    n_groups: int,
+    group_chunk: int,
+    sample_chunk: int,
+    memory_budget_bytes: int | None,
+) -> int:
+    """Shrink ``sample_chunk`` so one chunk's key materialization fits a budget.
+
+    The kernel's peak transient is the ``(sample_chunk, group_chunk, W)``
+    uint64 flip array plus its ``(sample_chunk, group_chunk)`` int64 lookup —
+    ``group_chunk * (W + 1) * 8`` bytes per sample row.  Wide Hamiltonians
+    (large group counts, Fig. 9's memory story) can exceed a host budget at
+    the default chunking; the budget caps the row count instead of failing.
+    """
+    if memory_budget_bytes is None:
+        return sample_chunk
+    g = min(group_chunk, n_groups)
+    bytes_per_sample = max(g * (n_words + 1) * 8, 1)
+    return int(max(1, min(sample_chunk, memory_budget_bytes // bytes_per_sample)))
+
+
 def local_energy_vectorized(
     comp: CompressedHamiltonian,
     batch: SampleBatch,
     table: AmplitudeTable,
     group_chunk: int = 512,
     sample_chunk: int = 4096,
+    memory_budget_bytes: int | None = None,
 ) -> np.ndarray:
     """Vectorized SA+FUSE+LUT kernel; chunked to bound peak memory.
 
     The double chunking mirrors the paper's two-level parallelization: the
     outer sample chunks correspond to the per-thread batches of Fig. 7(a),
-    the inner group chunks to the Pauli-string loop of Algorithm 2.
+    the inner group chunks to the Pauli-string loop of Algorithm 2.  With
+    ``memory_budget_bytes`` the sample chunk auto-shrinks so the per-chunk
+    coupled-key materialization stays under the budget (values are unchanged:
+    chunk boundaries never alter the per-sample accumulation order).
     """
     keys_all = pack_bits(batch.bits)
+    sample_chunk = budgeted_sample_chunk(
+        keys_all.shape[1], comp.n_groups, group_chunk, sample_chunk,
+        memory_budget_bytes,
+    )
     idx_self = searchsorted_keys(table.keys, keys_all)
     if np.any(idx_self < 0):
         raise ValueError("amplitude table must contain every sample")
@@ -373,13 +404,18 @@ def local_energy(
     batch: SampleBatch,
     mode: str = "exact",
     table: AmplitudeTable | None = None,
+    group_chunk: int = 512,
+    sample_chunk: int = 4096,
+    memory_budget_bytes: int | None = None,
 ) -> tuple[np.ndarray, AmplitudeTable]:
     """High-level entry point used by the VMC driver.
 
     ``mode='exact'`` extends the amplitude table with all coupled
     configurations (unbiased Eq. 4); ``mode='sample_aware'`` restricts the sum
     to the sampled set S (method (4) of Sec. 3.4 — cheap, slightly biased,
-    exact in the limit where S covers the wave function's support).
+    exact in the limit where S covers the wave function's support).  The
+    chunking/budget knobs pass straight to :func:`local_energy_vectorized`
+    (exposed through ``VMCConfig`` / the spec's ``parallel`` section).
     """
     if table is None:
         table = build_amplitude_table(wf, batch)
@@ -387,4 +423,8 @@ def local_energy(
         table = extend_amplitude_table(wf, comp, batch, table)
     elif mode != "sample_aware":
         raise ValueError(f"unknown local-energy mode {mode!r}")
-    return local_energy_vectorized(comp, batch, table), table
+    eloc = local_energy_vectorized(
+        comp, batch, table, group_chunk=group_chunk,
+        sample_chunk=sample_chunk, memory_budget_bytes=memory_budget_bytes,
+    )
+    return eloc, table

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.engine import ExecutionBackend, stats_record
 from repro.core.diagnostics import (
     correlation_energy_fraction,
     detect_plateau,
@@ -66,6 +67,14 @@ class TrainConfig:
     # Pluggable sampler fn(wf, n_samples, rng) -> SampleBatch; None keeps the
     # default batch autoregressive sweep (see repro.api sampler registry).
     sampler: Callable | None = None
+    # Execution backend (repro.core.engine): None keeps the serial backend;
+    # a ThreadBackend/ProcessBackend runs the same staged iteration over
+    # N_p ranks with checkpoint/metrics/resume handled here as usual.
+    backend: ExecutionBackend | None = None
+    # Local-energy kernel chunking (see VMCConfig / ParallelSpec).
+    group_chunk: int = 512
+    sample_chunk: int = 4096
+    eloc_memory_budget_mb: float | None = None
     # stopping + logging
     plateau_window: int = 100
     plateau_rel_tol: float = 1e-7
@@ -121,6 +130,21 @@ class TrainConfig:
             raise ValueError(
                 "TrainConfig.checkpoint_every must be >= 0, "
                 f"got {self.checkpoint_every!r}"
+            )
+        if not isinstance(self.group_chunk, int) or self.group_chunk <= 0:
+            raise ValueError(
+                f"TrainConfig.group_chunk must be a positive int, "
+                f"got {self.group_chunk!r}"
+            )
+        if not isinstance(self.sample_chunk, int) or self.sample_chunk <= 0:
+            raise ValueError(
+                f"TrainConfig.sample_chunk must be a positive int, "
+                f"got {self.sample_chunk!r}"
+            )
+        if self.eloc_memory_budget_mb is not None and self.eloc_memory_budget_mb <= 0:
+            raise ValueError(
+                "TrainConfig.eloc_memory_budget_mb must be None or positive, "
+                f"got {self.eloc_memory_budget_mb!r}"
             )
 
 
@@ -242,7 +266,11 @@ class Trainer:
                 grad_clip=cfg.grad_clip,
                 seed=cfg.seed,
                 sampler=cfg.sampler,
+                group_chunk=cfg.group_chunk,
+                sample_chunk=cfg.sample_chunk,
+                eloc_memory_budget_mb=cfg.eloc_memory_budget_mb,
             ),
+            backend=cfg.backend,
         )
         self._log_file = None
 
@@ -281,16 +309,7 @@ class Trainer:
         stopped_early = False
         while self.vmc.iteration < cfg.max_iterations:
             stats = self.vmc.step()
-            self._log(
-                {
-                    "iteration": stats.iteration,
-                    "energy": stats.energy,
-                    "variance": stats.variance,
-                    "n_unique": stats.n_unique,
-                    "n_samples": stats.n_samples,
-                    "lr": stats.lr,
-                }
-            )
+            self._log(stats_record(stats))
             if cfg.log_every and stats.iteration % cfg.log_every == 0:
                 print(
                     f"iter {stats.iteration:5d}  E = {stats.energy:+.6f} Ha  "

@@ -1,6 +1,6 @@
 """The variational Monte Carlo driver (Fig. 1): sample -> E_loc -> gradient.
 
-One iteration:
+One iteration (see :mod:`repro.core.engine` for the staged pipeline):
 
 1. Batch autoregressive sampling produces N_u unique samples with weights.
 2. Amplitudes of the unique set are tabulated (wf_lut, Algorithm 2) and the
@@ -13,25 +13,47 @@ One iteration:
    implemented as a surrogate scalar loss with stop-gradient coefficients.
 4. AdamW + the Eq. 13 warmup schedule update the parameters.
 
+:class:`VMC` owns the iteration *state* (wavefunction, optimizer, schedule,
+RNG, history — the checkpoint surface); *how* an iteration executes is the
+``backend``'s job: :class:`~repro.core.engine.SerialBackend` (default),
+``ThreadBackend`` or ``ProcessBackend`` all schedule the same stage
+functions, so the serial driver and the data-parallel drivers share exactly
+one implementation of the Eq. 7 update.
+
 The pre-training protocol of Sec. 4.1 (small N_s for the first iterations,
 then growing toward 1e12) is expressed through ``ns_schedule``.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.autograd import Tensor
-from repro.core.local_energy import build_amplitude_table, local_energy
-from repro.core.sampler import SampleBatch, batch_autoregressive_sample
+from repro.core.engine import (
+    ELOC_MODES,
+    ExecutionBackend,
+    SerialBackend,
+    VMCConfig,
+    VMCStats,
+    execute_iteration,
+    stage_backward,
+    stage_sample,
+    stage_update,
+)
+from repro.core.sampler import SampleBatch
 from repro.core.wavefunction import NNQSWavefunction
 from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamiltonian
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
 from repro.optim import AdamW, NoamSchedule
 
-__all__ = ["VMCConfig", "VMCStats", "VMC", "best_energy", "default_ns_schedule"]
+__all__ = [
+    "ELOC_MODES",
+    "VMCConfig",
+    "VMCStats",
+    "VMC",
+    "best_energy",
+    "default_ns_schedule",
+]
 
 
 def default_ns_schedule(pretrain_iters: int = 100, ns_pretrain: int = 10**5,
@@ -47,68 +69,13 @@ def default_ns_schedule(pretrain_iters: int = 100, ns_pretrain: int = 10**5,
     return schedule
 
 
-ELOC_MODES = ("exact", "sample_aware")
-
-
-@dataclass
-class VMCConfig:
-    n_samples: int | Callable[[int], int] = 10**5
-    eloc_mode: str = "exact"          # 'exact' | 'sample_aware'
-    lr_scale: float = 1.0             # rescales the Eq. 13 schedule
-    warmup: int = 4000
-    weight_decay: float = 0.01
-    grad_clip: float | None = 1.0     # max-norm clip (stabilizes small batches)
-    seed: int = 0
-    # Pluggable sampler fn(wf, n_samples, rng) -> SampleBatch; None keeps the
-    # default batch autoregressive sweep (see repro.api sampler registry).
-    sampler: Callable | None = None
-
-    def __post_init__(self) -> None:
-        if not callable(self.n_samples) and self.n_samples <= 0:
-            raise ValueError(
-                f"VMCConfig.n_samples must be positive, got {self.n_samples!r}"
-            )
-        if self.eloc_mode not in ELOC_MODES:
-            raise ValueError(
-                f"VMCConfig.eloc_mode must be one of {ELOC_MODES}, "
-                f"got {self.eloc_mode!r}"
-            )
-        if self.lr_scale <= 0:
-            raise ValueError(
-                f"VMCConfig.lr_scale must be positive, got {self.lr_scale!r}"
-            )
-        if self.warmup <= 0:
-            raise ValueError(
-                f"VMCConfig.warmup must be positive, got {self.warmup!r}"
-            )
-        if self.weight_decay < 0:
-            raise ValueError(
-                f"VMCConfig.weight_decay must be >= 0, got {self.weight_decay!r}"
-            )
-        if self.grad_clip is not None and self.grad_clip <= 0:
-            raise ValueError(
-                f"VMCConfig.grad_clip must be None or positive, "
-                f"got {self.grad_clip!r}"
-            )
-
-
-@dataclass
-class VMCStats:
-    iteration: int
-    energy: float
-    variance: float
-    n_unique: int
-    n_samples: int
-    lr: float
-    eloc_imag: float  # residual imaginary part of the energy (sanity signal)
-
-
 class VMC:
-    """Serial VMC optimizer; the parallel version lives in repro.parallel."""
+    """The VMC optimizer: engine state + a pluggable execution backend."""
 
     def __init__(self, wf: NNQSWavefunction,
                  hamiltonian: QubitHamiltonian | CompressedHamiltonian,
-                 config: VMCConfig | None = None):
+                 config: VMCConfig | None = None,
+                 backend: ExecutionBackend | None = None):
         self.wf = wf
         self.comp = (
             hamiltonian
@@ -116,6 +83,7 @@ class VMC:
             else compress_hamiltonian(hamiltonian)
         )
         self.config = config or VMCConfig()
+        self.backend = backend or SerialBackend()
         self.rng = np.random.default_rng(self.config.seed)
         self.optimizer = AdamW(
             wf, lr=0.0, weight_decay=self.config.weight_decay
@@ -134,49 +102,22 @@ class VMC:
         return ns(self.iteration) if callable(ns) else ns
 
     def sample(self) -> SampleBatch:
-        sampler = self.config.sampler or batch_autoregressive_sample
-        return sampler(self.wf, self._n_samples(), self.rng)
+        """One serial sampling stage on the engine's RNG (stage 1)."""
+        return stage_sample(self.wf, self._n_samples(), self.rng,
+                            sampler=self.config.sampler)
 
     def gradient_step(self, batch: SampleBatch, eloc: np.ndarray) -> None:
-        """Backpropagate Eq. 7 and update parameters."""
-        w = batch.weights / batch.weights.sum()
-        e_mean = np.sum(w * eloc)
-        centered = eloc - e_mean
-        coeff_amp = w * centered.real
-        coeff_phase = 2.0 * w * centered.imag
-        self.optimizer.zero_grad()
-        logp = self.wf.log_prob(batch.bits)
-        phi = self.wf.phase_of(batch.bits)
-        loss = (Tensor(coeff_amp) * logp).sum() + (Tensor(coeff_phase) * phi).sum()
-        loss.backward()
-        if self.config.grad_clip is not None:
-            g = self.wf.get_flat_grads()
-            norm = np.linalg.norm(g)
-            if norm > self.config.grad_clip:
-                self.wf.set_flat_grads(g * (self.config.grad_clip / norm))
-        self.schedule.step()
-        self.optimizer.step()
+        """Backpropagate Eq. 7 and update parameters (stages 5-6, one rank)."""
+        w = batch.weights.astype(np.float64)
+        w_total = w.sum()
+        e_mean = float(np.sum(w * eloc.real) / w_total)
+        e_imag = float(np.sum(w * eloc.imag) / w_total)
+        grad = stage_backward(self.wf, batch, w / w_total, eloc, e_mean, e_imag)
+        stage_update(self, grad)
 
     # ------------------------------------------------------------ main loop
     def step(self) -> VMCStats:
-        batch = self.sample()
-        eloc, _ = local_energy(
-            self.wf, self.comp, batch, mode=self.config.eloc_mode
-        )
-        w = batch.weights / batch.weights.sum()
-        energy = float(np.sum(w * eloc.real))
-        variance = float(np.sum(w * (eloc.real - energy) ** 2))
-        self.gradient_step(batch, eloc)
-        self.iteration += 1
-        stats = VMCStats(
-            iteration=self.iteration,
-            energy=energy,
-            variance=variance,
-            n_unique=batch.n_unique,
-            n_samples=batch.n_samples,
-            lr=self.optimizer.lr,
-            eloc_imag=float(np.abs(np.sum(w * eloc.imag))),
-        )
+        stats = execute_iteration(self)
         self.history.append(stats)
         return stats
 
@@ -203,7 +144,9 @@ def best_energy(history: list[VMCStats], window: int = 20) -> float:
 
     The final-estimate convention shared by :meth:`VMC.best_energy` and
     :func:`repro.core.trainer.build_report` — one definition, so the number
-    printed by a driver and the one written to ``report.json`` agree.
+    printed by a driver and the one written to ``report.json`` agree.  Works
+    on any backend's history: serial and parallel iterations report the same
+    unified :class:`~repro.core.engine.VMCStats` (variance included).
     """
     tail = history[-window:]
     if not tail:

@@ -1,4 +1,12 @@
-"""Data-centric parallelization (Sec. 3.2/3.3): FakeMPI, parallel BAS, scaling."""
+"""Data-centric parallelization (Sec. 3.2/3.3): FakeMPI, parallel BAS, scaling.
+
+The parallel iteration itself lives in :mod:`repro.core.engine` (the unified
+execution engine); this package provides the communicators it schedules over
+(:func:`run_spmd` thread ranks, :func:`run_spmd_processes` forked ranks), the
+BAS tree partitioning, the communication-volume model, and the scaling
+harness.  The engine backends are re-exported here for discoverability.
+"""
+from repro.core.engine import ProcessBackend, SerialBackend, ThreadBackend
 from repro.parallel.fake_mpi import CommStats, FakeComm, run_spmd
 from repro.parallel.multiprocess import ProcessComm, run_spmd_processes
 from repro.parallel.partition import balanced_weight_partition, split_tree_state
@@ -21,6 +29,9 @@ __all__ = [
     "split_tree_state",
     "CommVolumeModel",
     "comm_volume_bytes",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "DataParallelVMC",
     "ParallelVMCStats",
     "ScalingPoint",

@@ -1,225 +1,56 @@
-"""The data-centric parallel VMC iteration (Fig. 4, Sec. 3.2).
+"""Data-centric parallel VMC (Fig. 4, Sec. 3.2) — now an engine configuration.
 
-Each rank owns a batch of unique samples for the *whole* iteration (sampling,
-local energy, backward) — data stays put, only three small collectives move:
+The parallel iteration used to live here as a fork of ``core.vmc.VMC`` with
+its own gradient/optimizer/clip code.  It is now a *backend* of the unified
+execution engine: :class:`~repro.core.engine.ThreadBackend` schedules the
+shared stage functions (parallel BAS -> allgathered amplitude table ->
+weight-balanced local-energy shard -> Eq. 7 backward -> reduced-gradient
+update) over FakeMPI thread ranks, and the engine applies the single
+parameter update.  See :mod:`repro.core.engine` for the stage contract and
+DESIGN.md ("Execution engine") for the backend matrix.
 
-  stage 1  parallel BAS (Fig. 5): identical seeded prefix sweep on every rank
-           up to the dynamic split step k, then each rank continues its
-           weight-balanced share of the layer-k nodes to completion;
-  stage 2  Allgather of (packed unique samples, weights, log amplitudes);
-  stage 3  each rank evaluates local energies for its 1/N_p chunk of the
-           global unique set against the global amplitude table;
-  stage 4  Allreduce of the weighted energy sum;
-  stage 5  backward pass on the rank's chunk (per-rank model replica);
-  stage 6  Allreduce of gradients; the optimizer step runs on rank 0 and the
-           fresh parameters are broadcast.
-
-Ranks are FakeMPI threads (numpy kernels release the GIL, so stages 1/3/5
-genuinely overlap on multicore hosts); the byte counters of every collective
-feed the communication-volume benches.
+:class:`DataParallelVMC` remains as the thin compatibility wrapper used by
+the scaling benches and examples: a :class:`~repro.core.vmc.VMC` pre-wired
+with a :class:`ThreadBackend`.  ``ParallelVMCStats`` is the unified
+:class:`~repro.core.engine.VMCStats` — parallel histories now carry variance
+and the residual imaginary part, so ``best_energy`` applies to them too.
 """
 from __future__ import annotations
 
-import copy
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.local_energy import (
-    AmplitudeTable,
-    extend_amplitude_table,
-    local_energy_vectorized,
-)
-from repro.core.sampler import SampleBatch, batch_autoregressive_sample, bas_prefix_sweep
-from repro.core.vmc import VMCConfig
+from repro.core.engine import ThreadBackend, VMCStats as ParallelVMCStats
+from repro.core.vmc import VMC, VMCConfig
 from repro.core.wavefunction import NNQSWavefunction
-from repro.autograd import Tensor
-from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamiltonian
+from repro.hamiltonian.compressed import CompressedHamiltonian
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
-from repro.optim import AdamW, NoamSchedule
-from repro.parallel.fake_mpi import CommStats, FakeComm, run_spmd
-from repro.parallel.partition import split_tree_state
-from repro.utils.bitstrings import lexsort_keys, pack_bits, unpack_bits
 
 __all__ = ["ParallelVMCStats", "DataParallelVMC"]
 
 
-@dataclass
-class ParallelVMCStats:
-    iteration: int
-    energy: float
-    n_unique: int
-    n_samples: int
-    wall_time: float
-    time_sampling: float      # max over ranks (parallel wall contribution)
-    time_local_energy: float
-    time_gradient: float
-    comm_bytes: int
-    per_rank_unique: list[int] = field(default_factory=list)
-
-
-class DataParallelVMC:
-    """VMC over N_p data-parallel ranks (in-process, thread-backed)."""
+class DataParallelVMC(VMC):
+    """VMC over N_p data-parallel thread ranks (engine + ThreadBackend)."""
 
     def __init__(self, wf: NNQSWavefunction,
                  hamiltonian: QubitHamiltonian | CompressedHamiltonian,
                  n_ranks: int, config: VMCConfig | None = None,
-                 nu_star_per_rank: int = 64):
-        self.master = wf
-        self.comp = (
-            hamiltonian
-            if isinstance(hamiltonian, CompressedHamiltonian)
-            else compress_hamiltonian(hamiltonian)
+                 nu_star_per_rank: int = 64,
+                 eloc_partition: str = "balanced"):
+        super().__init__(
+            wf, hamiltonian, config,
+            backend=ThreadBackend(
+                n_ranks=n_ranks,
+                nu_star_per_rank=nu_star_per_rank,
+                eloc_partition=eloc_partition,
+            ),
         )
         self.n_ranks = n_ranks
-        self.config = config or VMCConfig()
         # N_u^* = nu_star_per_rank * N_p, as in the scaling experiments
         # (the paper uses N_u^* = 16384 n for n GPUs).
         self.nu_star = nu_star_per_rank * n_ranks
-        self.replicas = [copy.deepcopy(wf) for _ in range(n_ranks)]
-        self.optimizer = AdamW(wf, lr=0.0, weight_decay=self.config.weight_decay)
-        d_model = getattr(wf.amplitude, "d_model", 16)
-        self.schedule = NoamSchedule(
-            self.optimizer, d_model=d_model, warmup=self.config.warmup,
-            scale=self.config.lr_scale,
-        )
-        self.iteration = 0
-        self.history: list[ParallelVMCStats] = []
-        self._base_seed = self.config.seed
 
-    def _n_samples(self) -> int:
-        ns = self.config.n_samples
-        return ns(self.iteration) if callable(ns) else ns
+    @property
+    def master(self) -> NNQSWavefunction:
+        return self.wf
 
-    # ------------------------------------------------------------------ step
-    def step(self) -> ParallelVMCStats:
-        it = self.iteration
-        n_samples = self._n_samples()
-        comp = self.comp
-        n_ranks = self.n_ranks
-        master_flat = self.master.get_flat_params()
-        for rep in self.replicas:
-            rep.set_flat_params(master_flat)
-        eloc_mode = self.config.eloc_mode
-
-        def rank_fn(comm: FakeComm):
-            rank = comm.Get_rank()
-            wf = self.replicas[rank]
-            times = {}
-
-            # ---- stage 1: parallel BAS --------------------------------
-            t0 = time.perf_counter()
-            shared_rng = np.random.default_rng((self._base_seed, it, 0xBA5))
-            state = bas_prefix_sweep(wf, n_samples, shared_rng, self.nu_star)
-            my_state = split_tree_state(state, n_ranks)[rank]
-            cont_rng = np.random.default_rng((self._base_seed, it, rank + 1))
-            local = batch_autoregressive_sample(wf, 0, cont_rng, start=my_state)
-            times["sampling"] = time.perf_counter() - t0
-
-            # Local amplitudes for the allgathered wf_lut.
-            local_keys = pack_bits(local.bits)
-            local_amps = wf.log_amplitudes(local.bits)
-
-            # ---- stage 2: Allgather samples/weights/amplitudes --------
-            gathered = comm.allgather(
-                (local_keys, local.weights.astype(np.int64), local_amps)
-            )
-            keys = np.concatenate([g[0] for g in gathered], axis=0)
-            weights = np.concatenate([g[1] for g in gathered])
-            amps = np.concatenate([g[2] for g in gathered])
-            order = lexsort_keys(keys)
-            table = AmplitudeTable(keys=keys[order], log_amps=amps[order])
-
-            # ---- stage 3: local energy for this rank's chunk ----------
-            t0 = time.perf_counter()
-            n_u = len(weights)
-            chunk = slice(
-                rank * n_u // n_ranks, (rank + 1) * n_u // n_ranks
-            )
-            chunk_bits = unpack_bits(keys[order][chunk], comp.n_qubits)
-            chunk_batch = SampleBatch(
-                bits=chunk_bits, weights=weights[order][chunk]
-            )
-            tbl = table
-            if eloc_mode == "exact":
-                tbl = extend_amplitude_table(wf, comp, chunk_batch, table)
-            eloc = local_energy_vectorized(comp, chunk_batch, tbl)
-            times["local_energy"] = time.perf_counter() - t0
-
-            # ---- stage 4: Allreduce weighted energy -------------------
-            w_chunk = chunk_batch.weights.astype(np.float64)
-            local_sums = np.array(
-                [np.sum(w_chunk * eloc.real), np.sum(w_chunk * eloc.imag), w_chunk.sum()]
-            )
-            sums = comm.allreduce_sum(local_sums)
-            e_mean = sums[0] / sums[2]
-
-            # ---- stage 5: backward on the chunk -----------------------
-            t0 = time.perf_counter()
-            wf.zero_grad()
-            w_norm = w_chunk / sums[2]
-            coeff_amp = w_norm * (eloc.real - e_mean)
-            coeff_phase = 2.0 * w_norm * (eloc.imag - sums[1] / sums[2])
-            logp = wf.log_prob(chunk_batch.bits)
-            phi = wf.phase_of(chunk_batch.bits)
-            loss = (Tensor(coeff_amp) * logp).sum() + (Tensor(coeff_phase) * phi).sum()
-            loss.backward()
-            grad = wf.get_flat_grads()
-            times["gradient"] = time.perf_counter() - t0
-
-            # ---- stage 6: Allreduce gradients, update, broadcast ------
-            total_grad = comm.allreduce_sum(grad)
-            if rank == 0:
-                self.master.set_flat_grads(total_grad)
-                if self.config.grad_clip is not None:
-                    norm = np.linalg.norm(total_grad)
-                    if norm > self.config.grad_clip:
-                        self.master.set_flat_grads(
-                            total_grad * (self.config.grad_clip / norm)
-                        )
-                self.schedule.step()
-                self.optimizer.step()
-                new_params = self.master.get_flat_params()
-            else:
-                new_params = None
-            new_params = comm.bcast(new_params, root=0)
-            wf.set_flat_params(new_params)
-
-            return {
-                "energy": e_mean,
-                "n_unique": n_u,
-                "n_local_unique": local.n_unique,
-                "times": times,
-            }
-
-        t_wall = time.perf_counter()
-        results, stats = run_spmd(n_ranks, rank_fn)
-        wall = time.perf_counter() - t_wall
-
-        self.iteration += 1
-        r0 = results[0]
-        out = ParallelVMCStats(
-            iteration=self.iteration,
-            energy=float(r0["energy"]),
-            n_unique=int(r0["n_unique"]),
-            n_samples=n_samples,
-            wall_time=wall,
-            time_sampling=max(r["times"]["sampling"] for r in results),
-            time_local_energy=max(r["times"]["local_energy"] for r in results),
-            time_gradient=max(r["times"]["gradient"] for r in results),
-            comm_bytes=stats.total_bytes,
-            per_rank_unique=[r["n_local_unique"] for r in results],
-        )
-        self.history.append(out)
-        return out
-
-    def run(self, n_iterations: int, log_every: int = 0) -> list[ParallelVMCStats]:
-        for _ in range(n_iterations):
-            s = self.step()
-            if log_every and s.iteration % log_every == 0:
-                print(
-                    f"iter {s.iteration:4d}  E = {s.energy:+.6f}  N_u = {s.n_unique}  "
-                    f"wall = {s.wall_time:.2f}s  comm = {s.comm_bytes / 2**20:.1f} MB"
-                )
-        return self.history
+    @property
+    def replicas(self) -> list:
+        return self.backend.replicas or []

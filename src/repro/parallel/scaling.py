@@ -15,11 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.vmc import VMCConfig
+from repro.core.engine import ThreadBackend
+from repro.core.vmc import VMC, VMCConfig
 from repro.core.wavefunction import NNQSWavefunction
 from repro.hamiltonian.compressed import CompressedHamiltonian
 from repro.parallel.comm_model import CommVolumeModel
-from repro.parallel.driver import DataParallelVMC
 
 __all__ = ["ScalingPoint", "measure_scaling", "model_scaling", "parallel_efficiency"]
 
@@ -45,20 +45,28 @@ def measure_scaling(
     warmup_iters: int = 1,
     config: VMCConfig | None = None,
     nu_star_per_rank: int = 64,
+    eloc_partition: str = "balanced",
 ) -> list[ScalingPoint]:
     """Measure per-iteration stage times for each rank count.
 
     ``wf_factory()`` must return a *fresh identically-seeded* wavefunction so
     every rank count optimizes the same model; ``n_samples_for(n_ranks)``
     fixes the workload (constant for strong scaling, proportional for weak).
+    Iterations run on the unified engine's :class:`ThreadBackend`;
+    ``eloc_partition`` selects the Sec. 3.3 weight-balanced chunking
+    (default) or the naive contiguous split for comparison.
     """
     points = []
     for n_ranks in rank_counts:
         wf: NNQSWavefunction = wf_factory()
         cfg = config or VMCConfig(eloc_mode="sample_aware")
         cfg.n_samples = n_samples_for(n_ranks)
-        driver = DataParallelVMC(
-            wf, comp, n_ranks=n_ranks, config=cfg, nu_star_per_rank=nu_star_per_rank
+        driver = VMC(
+            wf, comp, cfg,
+            backend=ThreadBackend(
+                n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
+                eloc_partition=eloc_partition,
+            ),
         )
         for _ in range(warmup_iters):
             driver.step()
