@@ -13,8 +13,11 @@ Registered names:
 * sampler: ``bas`` (batch autoregressive), ``hybrid`` (independent-stream
   merge, Sec. 4.4), ``mcmc`` (Metropolis exchange moves)
 * eloc_kernel: ``exact`` / ``sample_aware`` (the high-level modes of
-  ``local_energy``) plus the raw Fig. 10 ladder ``baseline`` / ``sa_fuse``
-  / ``sa_fuse_lut`` / ``vectorized`` (low-level signatures, see
+  ``local_energy``), the scalar Fig. 10 rungs ``baseline`` / ``sa_fuse``
+  / ``sa_fuse_lut`` (native low-level signatures), and the engine-drivable
+  batch rungs ``vectorized`` / ``planned`` (shared batch-kernel signature;
+  ``planned`` is the compiled-plan + coupled-key-dedup kernel the spec's
+  ``sampling.eloc_kernel`` selects by default — see
   :mod:`repro.core.local_energy`).
 * backend: ``serial`` / ``threads`` / ``process`` — the execution backends
   of :mod:`repro.core.engine` (the spec's ``parallel`` section).
@@ -33,11 +36,11 @@ from repro.api.registry import (
 from repro.core.engine import ProcessBackend, SerialBackend, ThreadBackend
 from repro.core.hybrid_sampling import merged_batch_sample
 from repro.core.local_energy import (
+    BATCH_ELOC_KERNELS,
     local_energy,
     local_energy_baseline,
     local_energy_sa_fuse,
     local_energy_sa_fuse_lut,
-    local_energy_vectorized,
 )
 from repro.core.mcmc import metropolis_sample
 from repro.core.sampler import batch_autoregressive_sample
@@ -182,9 +185,16 @@ register_eloc_kernel("sample_aware",
                      lambda wf, comp, batch, table=None:
                      local_energy(wf, comp, batch, mode="sample_aware",
                                   table=table))
-# The raw Fig. 10 ladder, exposed for benchmarks/ablation by name.  These
-# keep their native low-level signatures (documented in core/local_energy).
+# The raw Fig. 10 ladder, exposed for benchmarks/ablation by name.  The
+# scalar rungs keep their native low-level signatures (documented in
+# core/local_energy).
 register_eloc_kernel("baseline", local_energy_baseline)
 register_eloc_kernel("sa_fuse", local_energy_sa_fuse)
 register_eloc_kernel("sa_fuse_lut", local_energy_sa_fuse_lut)
-register_eloc_kernel("vectorized", local_energy_vectorized)
+# The batch rungs share the engine-drivable signature
+#   kernel(comp, batch, table, *, group_chunk, sample_chunk,
+#          memory_budget_bytes, plan) -> eloc
+# so `sampling.eloc_kernel` can select either by name ('planned' is the
+# compiled-ElocPlan + coupled-key-dedup kernel; values are bit-identical).
+for _name, _kernel in BATCH_ELOC_KERNELS.items():
+    register_eloc_kernel(_name, _kernel)

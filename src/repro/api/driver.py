@@ -39,13 +39,19 @@ from pathlib import Path
 import numpy as np
 
 import repro.api.builtins  # noqa: F401 — registers the built-in components
-from repro.api.registry import ANSATZE, BACKENDS, OPTIMIZERS, SAMPLERS
+from repro.api.registry import (
+    ANSATZE,
+    BACKENDS,
+    OPTIMIZERS,
+    SAMPLERS,
+    UnknownComponentError,
+)
 from repro.api.spec import AnsatzSpec, ProblemSpec, RunSpec, SpecError
 from repro.core.engine import SerialBackend
 from repro.chem import build_problem, run_fci
 from repro.chem.pipeline import MolecularProblem
 from repro.core.trainer import TrainConfig, Trainer, TrainReport, build_report
-from repro.core.local_energy import local_energy
+from repro.core.local_energy import ElocPlan, local_energy, resolve_batch_kernel
 from repro.core.pretrain import pretrain_to_reference
 from repro.core.vmc import VMCStats, default_ns_schedule
 from repro.core.wavefunction import NNQSWavefunction
@@ -63,6 +69,7 @@ __all__ = [
     "materialize_ansatz",
     "materialize_sampler",
     "materialize_backend",
+    "materialize_eloc_kernel",
     "run",
     "resume",
     "serve_run",
@@ -156,6 +163,23 @@ def materialize_sampler(spec: RunSpec, problem: MolecularProblem):
     if s.sampler == "mcmc":
         params.setdefault("start_bits", problem.hf_bits)
     return SAMPLERS.build(s.sampler, **params)
+
+
+def materialize_eloc_kernel(spec: RunSpec) -> str:
+    """Validate the spec's batch-kernel name against the eloc_kernel registry.
+
+    Returns the name (both driver loops resolve it again at call time through
+    :func:`repro.core.local_energy.resolve_batch_kernel`, so registration is
+    the single source of truth).  A typo — or a registered kernel that does
+    not take the engine-drivable batch signature, like the scalar Fig. 10
+    rungs — fails here, at materialization, with the spec field named.
+    """
+    name = spec.sampling.eloc_kernel
+    try:
+        resolve_batch_kernel(name)
+    except (UnknownComponentError, TypeError) as exc:
+        raise SpecError(f"sampling.eloc_kernel: {exc}") from None
+    return name
 
 
 def materialize_backend(spec: RunSpec):
@@ -275,6 +299,7 @@ def run(spec: RunSpec | dict, run_dir: str | Path | None = None,
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
     backend = materialize_backend(spec)
+    materialize_eloc_kernel(spec)
     e_ref = _resolve_reference(spec, problem)
     spec.save(target / SPEC_FILE)
 
@@ -325,6 +350,7 @@ def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
         group_chunk=spec.parallel.group_chunk,
         sample_chunk=spec.parallel.sample_chunk,
         eloc_memory_budget_mb=spec.parallel.eloc_memory_budget_mb,
+        eloc_kernel=spec.sampling.eloc_kernel,
         plateau_window=spec.train.plateau_window,
         plateau_rel_tol=spec.train.plateau_rel_tol,
         early_stop=spec.train.early_stop,
@@ -354,6 +380,18 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
         )
     sample = sampler or SAMPLERS.build("bas")
     comp = compress_hamiltonian(problem.hamiltonian)
+    kernel_name = materialize_eloc_kernel(spec)
+    budget_bytes = (
+        None if spec.parallel.eloc_memory_budget_mb is None
+        else int(spec.parallel.eloc_memory_budget_mb * 2**20)
+    )
+    # One compiled plan per run — the Hamiltonian-static scaffolds are shared
+    # by every iteration's kernel call (unplanned kernels ignore it).
+    plan = ElocPlan(
+        comp, group_chunk=spec.parallel.group_chunk,
+        sample_chunk=spec.parallel.sample_chunk,
+        memory_budget_bytes=budget_bytes,
+    ) if kernel_name == "planned" else None
     schedule = default_ns_schedule(
         pretrain_iters=spec.sampling.pretrain_iters,
         ns_pretrain=spec.sampling.ns_pretrain,
@@ -381,10 +419,8 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
                 wf, comp, batch, mode=spec.sampling.eloc_mode,
                 group_chunk=spec.parallel.group_chunk,
                 sample_chunk=spec.parallel.sample_chunk,
-                memory_budget_bytes=(
-                    None if spec.parallel.eloc_memory_budget_mb is None
-                    else int(spec.parallel.eloc_memory_budget_mb * 2**20)
-                ),
+                memory_budget_bytes=budget_bytes,
+                kernel=kernel_name, plan=plan,
             )
             info = opt.step(batch, eloc)
             w = batch.weights / batch.weights.sum()
@@ -448,6 +484,7 @@ def resume(run_dir: str | Path,
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
     backend = materialize_backend(spec)
+    materialize_eloc_kernel(spec)
     e_ref = _resolve_reference(spec, problem)
     trainer = _build_trainer(spec, run_dir, problem, wf, sampler, backend,
                              e_ref)

@@ -197,6 +197,10 @@ class SamplingSpec(_Spec):
     ns_growth: float = 1.3
     pretrain_iters: int = 100
     eloc_mode: str = "exact"
+    # Batch local-energy kernel, by eloc_kernel-registry name: 'planned'
+    # (compiled ElocPlan + coupled-key dedup, the default) or 'vectorized'
+    # (the unplanned reference).  Values are bit-identical either way.
+    eloc_kernel: str = "planned"
     params: dict = field(default_factory=dict)  # e.g. hybrid's n_streams
 
     def __post_init__(self) -> None:
@@ -214,6 +218,9 @@ class SamplingSpec(_Spec):
         _require(self.eloc_mode in ELOC_MODES,
                  "sampling.eloc_mode",
                  f"must be one of {ELOC_MODES}, got {self.eloc_mode!r}")
+        _require(isinstance(self.eloc_kernel, str) and bool(self.eloc_kernel),
+                 "sampling.eloc_kernel",
+                 "must be a registered batch eloc_kernel name")
         _require(isinstance(self.params, dict),
                  "sampling.params", "must be a mapping of sampler kwargs")
 

@@ -10,11 +10,15 @@ from repro.core.sampler import (
 )
 from repro.core.local_energy import (
     AmplitudeTable,
+    ElocPlan,
     build_amplitude_table,
+    compile_eloc_plan,
     extend_amplitude_table,
     merge_amplitude_tables,
+    normalize_amplitude_table,
     local_energy,
     local_energy_baseline,
+    local_energy_planned,
     local_energy_sa_fuse,
     local_energy_sa_fuse_lut,
     local_energy_vectorized,
@@ -58,11 +62,15 @@ __all__ = [
     "batch_autoregressive_sample",
     "bas_prefix_sweep",
     "AmplitudeTable",
+    "ElocPlan",
     "build_amplitude_table",
+    "compile_eloc_plan",
     "extend_amplitude_table",
     "merge_amplitude_tables",
+    "normalize_amplitude_table",
     "local_energy",
     "local_energy_baseline",
+    "local_energy_planned",
     "local_energy_sa_fuse",
     "local_energy_sa_fuse_lut",
     "local_energy_vectorized",

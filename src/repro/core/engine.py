@@ -54,8 +54,9 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.core.local_energy import (
     AmplitudeTable,
+    ElocPlan,
     extend_amplitude_table,
-    local_energy_vectorized,
+    resolve_batch_kernel,
 )
 from repro.core.sampler import (
     SampleBatch,
@@ -103,12 +104,16 @@ class VMCConfig:
     # cannot be split across ranks by the Fig. 5 prefix-sweep scheme.
     sampler: Callable | None = None
     # Local-energy kernel chunking (Sec. 3.4 / Fig. 9 memory story): the
-    # vectorized kernel materializes (sample_chunk x group_chunk) packed keys
+    # batch kernels materialize (sample_chunk x group_chunk) packed keys
     # at a time; eloc_memory_budget_mb caps that materialization, shrinking
     # sample_chunk automatically on wide Hamiltonians.
     group_chunk: int = 512
     sample_chunk: int = 4096
     eloc_memory_budget_mb: float | None = None
+    # Which batch kernel evaluates stage 3, by eloc_kernel-registry name.
+    # 'planned' (default) = compiled ElocPlan + coupled-key dedup;
+    # 'vectorized' = the unplanned reference kernel.  Bit-identical values.
+    eloc_kernel: str = "planned"
 
     def __post_init__(self) -> None:
         if not callable(self.n_samples) and self.n_samples <= 0:
@@ -151,6 +156,11 @@ class VMCConfig:
             raise ValueError(
                 "VMCConfig.eloc_memory_budget_mb must be None or positive, "
                 f"got {self.eloc_memory_budget_mb!r}"
+            )
+        if not isinstance(self.eloc_kernel, str) or not self.eloc_kernel:
+            raise ValueError(
+                "VMCConfig.eloc_kernel must name a registered batch kernel, "
+                f"got {self.eloc_kernel!r}"
             )
 
     def eloc_memory_budget_bytes(self) -> int | None:
@@ -288,16 +298,31 @@ def stage_partition(weights: np.ndarray, n_ranks: int,
 
 
 def stage_local_energy(wf, comp, chunk: SampleBatch, table: AmplitudeTable,
-                       config: VMCConfig) -> np.ndarray:
-    """Stage 3: local energies of one chunk against the global table."""
+                       config: VMCConfig,
+                       plan: ElocPlan | None = None,
+                       kernel: Callable | None = None) -> np.ndarray:
+    """Stage 3: local energies of one chunk against the global table.
+
+    The batch kernel is resolved by name from the eloc_kernel registry
+    (``config.eloc_kernel``) unless the engine hands in its once-per-run
+    resolved callable; ``plan`` is the engine's compiled
+    :class:`~repro.core.local_energy.ElocPlan`, built once per run and
+    shared by every rank of every backend (unplanned kernels ignore it).
+    """
     tbl = table
     if config.eloc_mode == "exact":
-        tbl = extend_amplitude_table(wf, comp, chunk, table)
-    return local_energy_vectorized(
+        tbl = extend_amplitude_table(
+            wf, comp, chunk, table,
+            memory_budget_bytes=config.eloc_memory_budget_bytes(),
+        )
+    if kernel is None:
+        kernel = resolve_batch_kernel(config.eloc_kernel)
+    return kernel(
         comp, chunk, tbl,
         group_chunk=config.group_chunk,
         sample_chunk=config.sample_chunk,
         memory_budget_bytes=config.eloc_memory_budget_bytes(),
+        plan=plan,
     )
 
 
@@ -381,7 +406,9 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
         bits=unpack_bits(keys[idx], engine.comp.n_qubits),
         weights=weights[idx],
     )
-    eloc = stage_local_energy(wf, engine.comp, chunk, table, cfg)
+    eloc = stage_local_energy(wf, engine.comp, chunk, table, cfg,
+                              plan=getattr(engine, "eloc_plan", None),
+                              kernel=getattr(engine, "eloc_kernel_fn", None))
     times["local_energy"] = time.perf_counter() - t0
 
     # ---- stage 4: allreduce the weighted energy sums -----------------------

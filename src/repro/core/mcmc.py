@@ -24,7 +24,7 @@ from repro.core.sampler import SampleBatch
 from repro.hamiltonian.compressed import CompressedHamiltonian, compress_hamiltonian
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
 from repro.nn.rbm import RBMWavefunction
-from repro.core.local_energy import AmplitudeTable, local_energy_vectorized
+from repro.core.local_energy import AmplitudeTable, ElocPlan, local_energy_planned
 from repro.utils.bitstrings import lexsort_keys, pack_bits
 
 __all__ = ["metropolis_sample", "MCMCStats", "RBMVMC"]
@@ -112,6 +112,9 @@ class RBMVMC:
         self.use_sr = use_sr
         self.sr_shift = sr_shift
         self.rng = np.random.default_rng(seed)
+        # Compiled once per run: the Hamiltonian-static local-energy plan
+        # (the MCMC loop calls the kernel every iteration with a fresh table).
+        self.eloc_plan = ElocPlan(self.comp)
         self.history: list[float] = []
 
     def step(self) -> float:
@@ -124,7 +127,8 @@ class RBMVMC:
             keys=keys[order], log_amps=self.wf.log_amplitudes(batch.bits)[order]
         )
         sorted_batch = SampleBatch(bits=batch.bits[order], weights=batch.weights[order])
-        eloc = local_energy_vectorized(self.comp, sorted_batch, table)
+        eloc = local_energy_planned(self.comp, sorted_batch, table,
+                                    plan=self.eloc_plan)
         w = sorted_batch.weights / sorted_batch.weights.sum()
         e_mean = np.sum(w * eloc)
         self.history.append(float(e_mean.real))

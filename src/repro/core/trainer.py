@@ -75,6 +75,8 @@ class TrainConfig:
     group_chunk: int = 512
     sample_chunk: int = 4096
     eloc_memory_budget_mb: float | None = None
+    # Batch-kernel choice by eloc_kernel-registry name (see VMCConfig).
+    eloc_kernel: str = "planned"
     # stopping + logging
     plateau_window: int = 100
     plateau_rel_tol: float = 1e-7
@@ -145,6 +147,11 @@ class TrainConfig:
             raise ValueError(
                 "TrainConfig.eloc_memory_budget_mb must be None or positive, "
                 f"got {self.eloc_memory_budget_mb!r}"
+            )
+        if not isinstance(self.eloc_kernel, str) or not self.eloc_kernel:
+            raise ValueError(
+                "TrainConfig.eloc_kernel must name a registered batch kernel, "
+                f"got {self.eloc_kernel!r}"
             )
 
 
@@ -269,6 +276,7 @@ class Trainer:
                 group_chunk=cfg.group_chunk,
                 sample_chunk=cfg.sample_chunk,
                 eloc_memory_budget_mb=cfg.eloc_memory_budget_mb,
+                eloc_kernel=cfg.eloc_kernel,
             ),
             backend=cfg.backend,
         )

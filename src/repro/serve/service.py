@@ -47,9 +47,11 @@ import numpy as np
 
 from repro.core.local_energy import (
     AmplitudeTable,
+    ElocPlan,
     build_amplitude_table,
     local_energy,
     merge_amplitude_tables,
+    normalize_amplitude_table,
 )
 from repro.core.sampler import SampleBatch, batch_autoregressive_sample
 from repro.core.wavefunction import NNQSWavefunction
@@ -79,7 +81,8 @@ class ServeConfig:
 class _LoadedModel:
     """One resident snapshot: wavefunction + its per-version reuse state."""
 
-    __slots__ = ("version", "wf", "pool", "prefix_cache", "table", "table_overflows")
+    __slots__ = ("version", "wf", "pool", "prefix_cache", "table",
+                 "table_overflows", "eloc_plan")
 
     def __init__(self, version: int, wf: NNQSWavefunction, cfg: ServeConfig):
         self.version = version
@@ -90,6 +93,10 @@ class _LoadedModel:
         )
         self.table: AmplitudeTable | None = None
         self.table_overflows = 0
+        # Compiled local-energy plan, one per version alongside the cached
+        # amplitude table (built lazily on the first local_energy request;
+        # evicted together with the snapshot's other per-version caches).
+        self.eloc_plan: ElocPlan | None = None
 
 
 class WavefunctionService:
@@ -319,9 +326,11 @@ class WavefunctionService:
 
     def _run_local_energy(self, model: _LoadedModel, payload) -> np.ndarray:
         batch, mode = payload
+        if model.eloc_plan is None:
+            model.eloc_plan = ElocPlan(self.comp)
         table = self._table_with_samples(model, batch)
         eloc, table = local_energy(model.wf, self.comp, batch, mode=mode,
-                                   table=table)
+                                   table=table, plan=model.eloc_plan)
         if table.n_entries <= self.config.table_max_entries:
             model.table = table
         else:
@@ -334,9 +343,16 @@ class WavefunctionService:
     def _table_with_samples(self, model: _LoadedModel,
                             batch: SampleBatch) -> AmplitudeTable:
         """The version's table, grown to cover ``batch`` — only amplitudes of
-        configurations never seen under this version are evaluated."""
+        configurations never seen under this version are evaluated.
+
+        Client batches are untrusted: rows may repeat (the SampleBatch
+        unique-rows contract is a sampler guarantee, not a wire invariant),
+        so both the first-request build and every merge normalize to the
+        sorted-unique table invariant — a duplicate key would make later
+        binary searches hit an arbitrary copy.
+        """
         if model.table is None:
-            return build_amplitude_table(model.wf, batch)
+            return normalize_amplitude_table(build_amplitude_table(model.wf, batch))
         keys = pack_bits(batch.bits)
         missing = searchsorted_keys(model.table.keys, keys) < 0
         if not missing.any():
@@ -360,6 +376,7 @@ class WavefunctionService:
                 "prefix_cache": m.prefix_cache.stats(),
                 "table_entries": 0 if m.table is None else m.table.n_entries,
                 "table_overflows": m.table_overflows,
+                "eloc_plan_compiled": m.eloc_plan is not None,
             }
             for v, m in models
         }

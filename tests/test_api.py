@@ -49,6 +49,7 @@ def full_spec() -> RunSpec:
         sampling=SamplingSpec(sampler="hybrid", ns_pretrain=777, ns_max=8888,
                               ns_growth=1.5, pretrain_iters=0,
                               eloc_mode="sample_aware",
+                              eloc_kernel="vectorized",
                               params={"n_streams": 2}),
         train=TrainSpec(max_iterations=7, pretrain_steps=0,
                         pretrain_target=0.25, seed=9, plateau_window=3,
@@ -175,7 +176,7 @@ class TestRegistries:
         assert {"adamw", "sr"} <= set(OPTIMIZERS.names())
         assert {"bas", "hybrid", "mcmc"} <= set(SAMPLERS.names())
         assert {"exact", "sample_aware", "baseline", "sa_fuse", "sa_fuse_lut",
-                "vectorized"} <= set(ELOC_KERNELS.names())
+                "vectorized", "planned"} <= set(ELOC_KERNELS.names())
 
     def test_unknown_name_error_lists_registered(self):
         with pytest.raises(UnknownComponentError) as exc:
@@ -217,6 +218,34 @@ class TestRegistries:
         spec = tiny_spec().with_overrides({"optimizer.name": "lion"})
         with pytest.raises(UnknownComponentError, match="adamw"):
             run(spec, run_dir=tmp_path / "r")
+
+    def test_unknown_eloc_kernel_in_spec(self, tmp_path):
+        spec = tiny_spec().with_overrides({"sampling.eloc_kernel": "warp"})
+        with pytest.raises(SpecError, match="sampling.eloc_kernel"):
+            run(spec, run_dir=tmp_path / "r")
+
+    def test_non_batch_eloc_kernel_fails_at_materialization(self, tmp_path):
+        """'exact' is registered but is a high-level wrapper, not an
+        engine-drivable batch kernel — the spec field is named up front."""
+        spec = tiny_spec().with_overrides({"sampling.eloc_kernel": "exact"})
+        with pytest.raises(SpecError, match="sampling.eloc_kernel"):
+            run(spec, run_dir=tmp_path / "r")
+        assert not (tmp_path / "r" / "spec.json").exists()
+
+    def test_eloc_kernel_default_is_planned(self):
+        assert RunSpec().sampling.eloc_kernel == "planned"
+
+    def test_planned_and_vectorized_runs_bit_identical(self, tmp_path):
+        """The registry-selected kernels differ only in speed: the whole
+        training trajectory (energies, report, params) must match bitwise."""
+        a = run(tiny_spec({"sampling.eloc_kernel": "planned"}),
+                run_dir=tmp_path / "a")
+        b = run(tiny_spec({"sampling.eloc_kernel": "vectorized"}),
+                run_dir=tmp_path / "b")
+        assert metric_energies(a.metrics_path) == metric_energies(b.metrics_path)
+        assert a.report.energy == b.report.energy
+        np.testing.assert_array_equal(a.wavefunction.get_flat_params(),
+                                      b.wavefunction.get_flat_params())
 
 
 # ------------------------------------------------------------ --set parsing

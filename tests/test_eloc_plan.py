@@ -1,0 +1,302 @@
+"""Compiled local-energy plans: bit-identity, dedup, threading, backends.
+
+Acceptance contracts of the ``ElocPlan`` / ``local_energy_planned`` rung:
+
+* bit-identical local energies vs. ``local_energy_vectorized`` for all three
+  ansätze, on sample-aware and exact (extended) tables;
+* bit-identical at every chunk boundary (``sample_chunk`` / ``group_chunk``
+  = 1, odd, > batch) when both kernels use the same chunking;
+* agreement with the scalar ``sa_fuse_lut`` ladder (the pre-batch reference);
+* the coupled-key dedup path (``np.unique`` + inverse scatter) is
+  index-identical to the direct binary search, single- and multi-word;
+* one plan per run serves every backend (serial / threads / process) and the
+  serving layer, with no caller compiling plans by hand;
+* the ``eloc_kernel`` registry selects the kernel by name from the spec.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ElocPlan,
+    SampleBatch,
+    VMC,
+    VMCConfig,
+    build_amplitude_table,
+    build_qiankunnet,
+    compile_eloc_plan,
+    extend_amplitude_table,
+    local_energy,
+    local_energy_planned,
+    local_energy_sa_fuse_lut,
+    local_energy_vectorized,
+)
+from repro.core.engine import ProcessBackend, ThreadBackend
+from repro.core.local_energy import AmplitudeTable, resolve_batch_kernel
+from repro.core.sampler import batch_autoregressive_sample
+from repro.hamiltonian import compress_hamiltonian, synthetic_molecular_hamiltonian
+from repro.utils.bitstrings import lexsort_keys, pack_bits
+
+ANSATZE = ["transformer", "made", "naqs-mlp"]
+
+
+def _setup(problem, amplitude_type="transformer", n_samples=2000, seed=11):
+    wf = build_qiankunnet(problem.n_qubits, problem.n_up, problem.n_dn,
+                          amplitude_type=amplitude_type, d_model=8, n_heads=2,
+                          n_layers=1, phase_hidden=(8,), seed=seed)
+    batch = batch_autoregressive_sample(wf, n_samples,
+                                        np.random.default_rng(seed))
+    comp = compress_hamiltonian(problem.hamiltonian)
+    table = build_amplitude_table(wf, batch)
+    return wf, comp, batch, table
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_matches_vectorized_sample_aware(self, lih_problem, amplitude_type):
+        wf, comp, batch, table = _setup(lih_problem, amplitude_type)
+        ref = local_energy_vectorized(comp, batch, table)
+        out = local_energy_planned(comp, batch, table, plan=ElocPlan(comp))
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_matches_vectorized_exact_table(self, h2_problem, amplitude_type):
+        wf, comp, batch, table = _setup(h2_problem, amplitude_type)
+        ext = extend_amplitude_table(wf, comp, batch, table)
+        ref = local_energy_vectorized(comp, batch, ext)
+        out = ElocPlan(comp).local_energy(batch, ext)
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_agrees_with_scalar_lut_ladder(self, h2_problem, amplitude_type):
+        wf, comp, batch, table = _setup(h2_problem, amplitude_type)
+        scalar = local_energy_sa_fuse_lut(comp, batch, table)
+        planned = ElocPlan(comp).local_energy(batch, table)
+        np.testing.assert_allclose(planned, scalar, atol=1e-10)
+
+    @pytest.mark.parametrize("group_chunk,sample_chunk", [
+        (1, 1), (3, 5), (1, 4096), (512, 1), (7, 3), (10**6, 10**6),
+    ])
+    def test_chunk_boundaries(self, lih_problem, group_chunk, sample_chunk):
+        """Equal chunking => bit-equal results, at every boundary shape
+        (1, odd, and far beyond the batch/group counts)."""
+        wf, comp, batch, table = _setup(lih_problem)
+        ref = local_energy_vectorized(comp, batch, table,
+                                      group_chunk=group_chunk,
+                                      sample_chunk=sample_chunk)
+        out = local_energy_planned(comp, batch, table,
+                                   group_chunk=group_chunk,
+                                   sample_chunk=sample_chunk)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_memory_budget_matches_vectorized(self, lih_problem):
+        wf, comp, batch, table = _setup(lih_problem)
+        ref = local_energy_vectorized(comp, batch, table,
+                                      memory_budget_bytes=4096)
+        plan = ElocPlan(comp, memory_budget_bytes=4096)
+        np.testing.assert_array_equal(plan.local_energy(batch, table), ref)
+
+    def test_plan_reused_across_tables(self, lih_problem):
+        """One plan, many iterations: a fresh table (moved parameters) must
+        invalidate the cached record view, never reuse the old one."""
+        wf, comp, batch, table = _setup(lih_problem, seed=1)
+        wf2, _, batch2, table2 = _setup(lih_problem, seed=2)
+        plan = ElocPlan(comp)
+        np.testing.assert_array_equal(
+            plan.local_energy(batch, table),
+            local_energy_vectorized(comp, batch, table))
+        np.testing.assert_array_equal(
+            plan.local_energy(batch2, table2),
+            local_energy_vectorized(comp, batch2, table2))
+        # ... and going back to the first table still answers correctly.
+        np.testing.assert_array_equal(
+            plan.local_energy(batch, table),
+            local_energy_vectorized(comp, batch, table))
+
+
+class TestDedup:
+    def test_forced_dedup_is_index_identical(self, lih_problem):
+        """Tiny tables skip dedup by default; forcing it on must not change
+        a single bit (the inverse scatter reproduces every lookup)."""
+        wf, comp, batch, table = _setup(lih_problem)
+        direct = ElocPlan(comp).local_energy(batch, table)
+        forced = ElocPlan(comp)
+        forced.DEDUP_MIN_TABLE = 0
+        np.testing.assert_array_equal(forced.local_energy(batch, table), direct)
+
+    @pytest.mark.parametrize("n_qubits,n_terms", [(70, 300), (100, 500)])
+    def test_multiword_dedup(self, n_qubits, n_terms):
+        """Two-word keys go through the record-dtype unique/searchsorted."""
+        ham = synthetic_molecular_hamiltonian(n_qubits, n_terms, seed=3)
+        comp = compress_hamiltonian(ham)
+        rng = np.random.default_rng(4)
+        bits = np.unique(
+            rng.integers(0, 2, size=(24, n_qubits)).astype(np.uint8), axis=0
+        )
+        batch = SampleBatch(bits=bits, weights=np.ones(len(bits), dtype=np.int64))
+        keys = pack_bits(bits)
+        order = lexsort_keys(keys)
+        amps = rng.normal(size=len(bits)) + 1j * rng.uniform(0, 6.28, len(bits))
+        table = AmplitudeTable(keys=keys[order], log_amps=amps[order])
+        ref = local_energy_vectorized(comp, batch, table)
+        plan = ElocPlan(comp, group_chunk=7, sample_chunk=5)
+        plan.DEDUP_MIN_TABLE = 0
+        ref_chunked = local_energy_vectorized(comp, batch, table,
+                                              group_chunk=7, sample_chunk=5)
+        np.testing.assert_array_equal(plan.local_energy(batch, table),
+                                      ref_chunked)
+        np.testing.assert_allclose(ref_chunked, ref, atol=1e-12)
+
+
+class TestPlanLifecycle:
+    def test_compile_eloc_plan_spelling(self, h2_problem):
+        comp = compress_hamiltonian(h2_problem.hamiltonian)
+        plan = compile_eloc_plan(comp, group_chunk=3, sample_chunk=9,
+                                 memory_budget_bytes=1 << 20)
+        assert (plan.group_chunk, plan.sample_chunk) == (3, 9)
+        assert plan.comp is comp
+
+    def test_wrong_hamiltonian_rejected(self, h2_problem, lih_problem):
+        wf, comp, batch, table = _setup(h2_problem)
+        other = compress_hamiltonian(lih_problem.hamiltonian)
+        with pytest.raises(ValueError, match="different CompressedHamiltonian"):
+            local_energy_planned(comp, batch, table, plan=ElocPlan(other))
+
+    def test_word_count_mismatch_rejected(self, h2_problem):
+        wf, comp, batch, table = _setup(h2_problem)
+        ham = synthetic_molecular_hamiltonian(70, 50, seed=2)
+        plan = ElocPlan(compress_hamiltonian(ham))
+        with pytest.raises(ValueError, match="words"):
+            plan.local_energy(batch, table)
+
+    def test_invalid_chunking_rejected(self, h2_problem):
+        comp = compress_hamiltonian(h2_problem.hamiltonian)
+        with pytest.raises(ValueError, match="group_chunk"):
+            ElocPlan(comp, group_chunk=0)
+        with pytest.raises(ValueError, match="sample_chunk"):
+            ElocPlan(comp, sample_chunk=-1)
+
+    def test_missing_sample_raises(self, h2_problem):
+        wf, comp, batch, table = _setup(h2_problem)
+        short = AmplitudeTable(keys=table.keys[:1], log_amps=table.log_amps[:1])
+        with pytest.raises(ValueError, match="every sample"):
+            ElocPlan(comp).local_energy(batch, short)
+
+    def test_empty_batch(self):
+        ham = synthetic_molecular_hamiltonian(70, 50, seed=2)
+        comp = compress_hamiltonian(ham)
+        batch = SampleBatch(bits=np.zeros((0, 70), dtype=np.uint8),
+                            weights=np.zeros(0, dtype=np.int64))
+        table = AmplitudeTable(keys=np.zeros((0, 2), dtype=np.uint64),
+                               log_amps=np.zeros(0, dtype=np.complex128))
+        assert ElocPlan(comp).local_energy(batch, table).shape == (0,)
+
+    def test_high_level_plan_implies_planned_kernel(self, h2_problem):
+        wf, comp, batch, table = _setup(h2_problem)
+        plan = ElocPlan(comp)
+        e_plain, t_plain = local_energy(wf, comp, batch, mode="exact")
+        e_plan, t_plan = local_energy(wf, comp, batch, mode="exact", plan=plan)
+        np.testing.assert_array_equal(e_plan, e_plain)
+        np.testing.assert_array_equal(t_plan.keys, t_plain.keys)
+
+
+class TestKernelRegistry:
+    def test_resolve_builtin_names(self):
+        assert callable(resolve_batch_kernel("vectorized"))
+        assert callable(resolve_batch_kernel("planned"))
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="planned"):
+            resolve_batch_kernel("warp-drive")
+
+    @pytest.mark.parametrize("name", ["exact", "sample_aware", "baseline",
+                                      "sa_fuse", "sa_fuse_lut"])
+    def test_non_batch_kernels_rejected_up_front(self, name):
+        """Registered names without the batch signature must fail with the
+        drivable options listed, not with an opaque mid-run TypeError."""
+        with pytest.raises(TypeError, match="batch-kernel signature"):
+            resolve_batch_kernel(name)
+
+    def test_vmcconfig_validates_kernel_field(self):
+        with pytest.raises(ValueError, match="VMCConfig.eloc_kernel"):
+            VMCConfig(eloc_kernel="")
+
+    def test_high_level_kernel_by_name(self, h2_problem):
+        wf, comp, batch, table = _setup(h2_problem)
+        e_vec, _ = local_energy(wf, comp, batch, mode="sample_aware",
+                                table=table, kernel="vectorized")
+        e_plan, _ = local_energy(wf, comp, batch, mode="sample_aware",
+                                 table=table, kernel="planned")
+        np.testing.assert_array_equal(e_plan, e_vec)
+
+
+def _fresh_vmc(problem, backend=None, **cfg):
+    wf = build_qiankunnet(problem.n_qubits, problem.n_up, problem.n_dn,
+                          d_model=8, n_heads=2, n_layers=1, phase_hidden=(8,),
+                          seed=7)
+    defaults = dict(n_samples=800, eloc_mode="exact", warmup=50, seed=3)
+    defaults.update(cfg)
+    return VMC(wf, problem.hamiltonian, VMCConfig(**defaults), backend=backend)
+
+
+class TestEngineIntegration:
+    def test_vmc_compiles_one_plan(self, h2_problem):
+        vmc = _fresh_vmc(h2_problem, sample_chunk=33, group_chunk=11)
+        assert isinstance(vmc.eloc_plan, ElocPlan)
+        assert vmc.eloc_plan.comp is vmc.comp
+        assert (vmc.eloc_plan.group_chunk, vmc.eloc_plan.sample_chunk) == (11, 33)
+
+    @pytest.mark.parametrize("backend_factory", [
+        lambda: None,
+        lambda: ThreadBackend(n_ranks=2, nu_star_per_rank=4),
+    ])
+    def test_planned_trajectory_matches_vectorized(self, h2_problem,
+                                                   backend_factory):
+        """The kernel choice must be invisible to the physics: identical
+        trajectories on the serial and thread-rank backends."""
+        a = _fresh_vmc(h2_problem, backend=backend_factory(),
+                       eloc_kernel="planned")
+        b = _fresh_vmc(h2_problem, backend=backend_factory(),
+                       eloc_kernel="vectorized")
+        for _ in range(3):
+            sa, sb = a.step(), b.step()
+            assert sa.energy == sb.energy
+            assert sa.variance == sb.variance
+        np.testing.assert_array_equal(a.wf.get_flat_params(),
+                                      b.wf.get_flat_params())
+
+    @pytest.mark.slow
+    def test_process_backend_matches_thread_backend(self, h2_problem):
+        a = _fresh_vmc(h2_problem, backend=ProcessBackend(
+            n_ranks=2, nu_star_per_rank=4), eloc_kernel="planned")
+        b = _fresh_vmc(h2_problem, backend=ThreadBackend(
+            n_ranks=2, nu_star_per_rank=4), eloc_kernel="planned")
+        sa, sb = a.step(), b.step()
+        assert sa.energy == sb.energy
+        assert sa.variance == sb.variance
+
+    def test_unknown_kernel_fails_at_construction(self, h2_problem):
+        """The name is resolved once per run, at VMC construction — a typo
+        fails before any sampling happens, with the options listed."""
+        with pytest.raises(KeyError, match="eloc_kernel"):
+            _fresh_vmc(h2_problem, eloc_kernel="warp-drive")
+        with pytest.raises(TypeError, match="batch-kernel signature"):
+            _fresh_vmc(h2_problem, eloc_kernel="sa_fuse_lut")
+
+
+class TestServeIntegration:
+    def test_service_uses_per_version_plan(self, lih_problem):
+        from repro.serve import ServeConfig, WavefunctionService
+
+        wf, comp, batch, table = _setup(lih_problem)
+        with WavefunctionService(
+            wf, hamiltonian=lih_problem.hamiltonian,
+            config=ServeConfig(max_wait_ms=1.0),
+        ) as svc:
+            served = svc.local_energy(batch, mode="exact")
+            stats = svc.stats()["versions"][0]
+            assert stats["eloc_plan_compiled"]
+        direct, _ = local_energy(wf, compress_hamiltonian(
+            lih_problem.hamiltonian), batch, mode="exact")
+        np.testing.assert_allclose(served, direct, atol=1e-10)

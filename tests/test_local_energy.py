@@ -156,6 +156,67 @@ class TestExactness:
             local_energy_vectorized(comp, batch, short)
 
 
+class TestMergeTables:
+    @staticmethod
+    def _assert_sorted_unique(table):
+        # lexsort_keys order: word 0 minor, last word major -> compare the
+        # reversed word tuples.
+        rows = [tuple(r) for r in table.keys[:, ::-1].tolist()]
+        assert rows == sorted(rows), "merged table keys are not sorted"
+        assert len(set(rows)) == len(rows), "merged table has duplicate keys"
+
+    def test_duplicates_within_b_are_collapsed(self, setup_h2):
+        """Regression: a ``b`` table with internal duplicate keys used to
+        survive the merge, corrupting every later binary search."""
+        from repro.core import AmplitudeTable, merge_amplitude_tables
+
+        wf, comp, batch, table = setup_h2
+        half = AmplitudeTable(keys=table.keys[:2], log_amps=table.log_amps[:2])
+        dup_idx = np.array([2, 3, 3, 2, 2])
+        b = AmplitudeTable(keys=table.keys[dup_idx],
+                           log_amps=table.log_amps[dup_idx])
+        merged = merge_amplitude_tables(half, b)
+        self._assert_sorted_unique(merged)
+        assert merged.n_entries == 4
+        np.testing.assert_array_equal(merged.keys, table.keys)
+        np.testing.assert_array_equal(merged.log_amps, table.log_amps)
+
+    def test_unsorted_inputs_are_normalized(self, setup_h2):
+        from repro.core import AmplitudeTable, merge_amplitude_tables
+
+        wf, comp, batch, table = setup_h2
+        rev = slice(None, None, -1)
+        a = AmplitudeTable(keys=table.keys[:3][rev], log_amps=table.log_amps[:3][rev])
+        b = AmplitudeTable(keys=table.keys[2:][rev], log_amps=table.log_amps[2:][rev])
+        merged = merge_amplitude_tables(a, b)
+        self._assert_sorted_unique(merged)
+        np.testing.assert_array_equal(merged.keys, table.keys)
+        np.testing.assert_array_equal(merged.log_amps, table.log_amps)
+
+    def test_a_wins_on_duplicate_keys(self, setup_h2):
+        from repro.core import AmplitudeTable, merge_amplitude_tables
+
+        wf, comp, batch, table = setup_h2
+        b = AmplitudeTable(keys=table.keys.copy(),
+                           log_amps=table.log_amps + 1.0)
+        merged = merge_amplitude_tables(table, b)
+        np.testing.assert_array_equal(merged.log_amps, table.log_amps)
+
+    def test_sorted_inputs_pass_through_untouched(self, setup_h2):
+        """The invariant check must not copy already-valid tables."""
+        from repro.core import AmplitudeTable, merge_amplitude_tables
+        from repro.core.local_energy import normalize_amplitude_table
+
+        wf, comp, batch, table = setup_h2
+        assert normalize_amplitude_table(table) is table
+        empty = AmplitudeTable(
+            keys=np.zeros((0, table.keys.shape[1]), dtype=np.uint64),
+            log_amps=np.zeros(0, dtype=np.complex128),
+        )
+        assert merge_amplitude_tables(table, empty) is table
+        assert merge_amplitude_tables(empty, table) is table
+
+
 class TestExtendTable:
     def test_extension_adds_only_sector_states(self, setup_h2):
         wf, comp, _, _ = setup_h2
@@ -182,3 +243,46 @@ class TestExtendTable:
         table = build_amplitude_table(wf, batch)
         with pytest.raises(ValueError):
             extend_amplitude_table(wf, comp, batch, table, max_extra=0)
+
+    def test_budgeted_extension_matches_unbudgeted(self, setup_h2):
+        """Regression: the (B, G, W) flip materialization and the amplitude
+        evaluation are chunked under a memory budget; the extended table must
+        be identical (flip chunking is pure integer set work, and small
+        missing sets stay one-shot through the evaluation-chunk floor)."""
+        wf, comp, _, _ = setup_h2
+        bits = sector_bitstrings(4, 1, 1)[:2]
+        batch = SampleBatch(bits=bits, weights=np.array([3, 2], dtype=np.int64))
+        table = build_amplitude_table(wf, batch)
+        full = extend_amplitude_table(wf, comp, batch, table)
+        tiny = extend_amplitude_table(wf, comp, batch, table,
+                                      memory_budget_bytes=64)  # 1-row chunks
+        np.testing.assert_array_equal(tiny.keys, full.keys)
+        np.testing.assert_array_equal(tiny.log_amps, full.log_amps)
+
+    def test_budgeted_evaluation_chunks_match(self, setup_h2, monkeypatch):
+        """Force the evaluation-chunk floor down so wf.log_amplitudes really
+        runs in pieces; the union must agree to reduction-order rounding."""
+        import sys
+
+        le = sys.modules["repro.core.local_energy"]
+        wf, comp, _, _ = setup_h2
+        bits = sector_bitstrings(4, 1, 1)[:2]
+        batch = SampleBatch(bits=bits, weights=np.array([1, 1], dtype=np.int64))
+        table = build_amplitude_table(wf, batch)
+        full = extend_amplitude_table(wf, comp, batch, table)
+        monkeypatch.setattr(le, "_MIN_EVAL_CHUNK", 1)
+        tiny = extend_amplitude_table(wf, comp, batch, table,
+                                      memory_budget_bytes=64)
+        np.testing.assert_array_equal(tiny.keys, full.keys)
+        np.testing.assert_allclose(tiny.log_amps, full.log_amps, atol=1e-12)
+
+    def test_budgeted_exact_mode_matches(self, setup_h2):
+        """mode='exact' through the high-level entry point with a budget."""
+        wf, comp, _, _ = setup_h2
+        bits = sector_bitstrings(4, 1, 1)[:2]
+        batch = SampleBatch(bits=bits, weights=np.array([3, 2], dtype=np.int64))
+        e_full, t_full = local_energy(wf, comp, batch, mode="exact")
+        e_tiny, t_tiny = local_energy(wf, comp, batch, mode="exact",
+                                      memory_budget_bytes=64)
+        np.testing.assert_array_equal(t_tiny.keys, t_full.keys)
+        np.testing.assert_allclose(e_tiny, e_full, atol=1e-12)

@@ -324,6 +324,38 @@ class TestLocalEnergy:
         # Identical request: every amplitude came from the table, no growth.
         assert stats["table_entries"] == entries_after_first > 0
 
+    def test_duplicate_client_rows_keep_table_sorted_unique(self, service):
+        """Regression: a client batch with repeated rows used to push
+        duplicate keys into the per-version amplitude table through both the
+        first-request build and the merge path, corrupting later binary
+        searches.  The served values must match the direct computation and
+        the accumulated table must stay sorted-unique."""
+        from repro.core.sampler import SampleBatch
+
+        wf_direct = _wf()
+        clean = batch_autoregressive_sample(
+            wf_direct, 400, np.random.default_rng(5)
+        )
+        dup_rows = np.concatenate([clean.bits, clean.bits[:3], clean.bits[:1]])
+        dup = SampleBatch(bits=dup_rows,
+                          weights=np.ones(len(dup_rows), dtype=np.int64))
+        # First request seeds the table from the duplicated batch, the second
+        # (shifted subset, duplicated again) exercises the merge path.
+        first = service.local_energy(dup, mode="sample_aware")
+        np.testing.assert_array_equal(first[:3], first[len(clean.bits):-1])
+        other = batch_autoregressive_sample(
+            wf_direct, 400, np.random.default_rng(6)
+        )
+        dup2_rows = np.concatenate([other.bits, other.bits[:2]])
+        dup2 = SampleBatch(bits=dup2_rows,
+                           weights=np.ones(len(dup2_rows), dtype=np.int64))
+        second = service.local_energy(dup2, mode="sample_aware")
+        assert len(second) == len(dup2_rows)
+        table = service._models[0].table
+        rows = [tuple(r) for r in table.keys[:, ::-1].tolist()]
+        assert rows == sorted(rows), "per-version table keys not sorted"
+        assert len(set(rows)) == len(rows), "per-version table has duplicates"
+
     def test_table_cap_keeps_previous_table(self, lih_problem):
         """Over-cap growth must not discard the existing under-cap table
         (that would mean a permanent cold start above the cap)."""
