@@ -163,18 +163,22 @@ def build_serial_backend(n_ranks: int = 1, **params):
 
 @register_backend("threads")
 def build_thread_backend(n_ranks: int = 1, *, nu_star_per_rank: int = 64,
-                         eloc_partition: str = "balanced"):
+                         eloc_partition: str = "balanced",
+                         comm_codec: bool = True, comm_shm: bool = True):
     """FakeMPI thread ranks — the Fig. 4 data-parallel iteration in-process."""
     return ThreadBackend(n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
-                         eloc_partition=eloc_partition)
+                         eloc_partition=eloc_partition,
+                         comm_codec=comm_codec, comm_shm=comm_shm)
 
 
 @register_backend("process")
 def build_process_backend(n_ranks: int = 1, *, nu_star_per_rank: int = 64,
-                          eloc_partition: str = "balanced"):
+                          eloc_partition: str = "balanced",
+                          comm_codec: bool = True, comm_shm: bool = True):
     """Forked OS-process ranks (fork start method; Linux)."""
     return ProcessBackend(n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
-                          eloc_partition=eloc_partition)
+                          eloc_partition=eloc_partition,
+                          comm_codec=comm_codec, comm_shm=comm_shm)
 
 
 # --------------------------------------------------------- local-energy ladder

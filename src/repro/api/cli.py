@@ -160,6 +160,12 @@ def _print_run_info(run_dir: Path) -> int:
         print(f"report   best E = {report['best_energy']:+.6f} Ha after "
               f"{report['iterations']} iterations"
               + ("  (early stop)" if report.get("stopped_early") else ""))
+        if report.get("comm_bytes_logical") is not None:
+            logical = report["comm_bytes_logical"]
+            wire = report.get("comm_bytes_wire") or logical
+            print(f"comm     {logical / 2**20:.1f} MB logical -> "
+                  f"{wire / 2**20:.1f} MB wire "
+                  f"({logical / max(wire, 1):.1f}x compression)")
     models = run_dir / driver.MODELS_DIR
     if (models / "manifest.json").exists():
         from repro.serve import ModelRegistry

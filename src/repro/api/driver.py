@@ -195,6 +195,7 @@ def materialize_backend(spec: RunSpec):
         backend = BACKENDS.build(
             p.backend, p.n_ranks, nu_star_per_rank=p.nu_star_per_rank,
             eloc_partition=p.eloc_partition,
+            comm_codec=p.comm_codec, comm_shm=p.comm_shm,
         )
     except ValueError as exc:  # e.g. serial with n_ranks > 1
         raise SpecError(f"parallel: {exc}") from None

@@ -234,6 +234,11 @@ class ParallelSpec(_Spec):
     the paper's N_p and N_u^*/N_p; ``eloc_partition`` selects the Sec. 3.3
     weight-balanced local-energy chunking (or ``contiguous`` for the naive
     1/N_p split); the chunking/budget knobs feed the vectorized kernel.
+
+    ``comm_codec`` toggles the stage-2 delta/varint compression and
+    ``comm_shm`` the process backend's shared-memory transport (see
+    DESIGN.md "Communication layer"); both default on and are bit-identical
+    either way — they only change what crosses the wire.
     """
 
     _SECTION = "parallel"
@@ -245,6 +250,8 @@ class ParallelSpec(_Spec):
     group_chunk: int = 512
     sample_chunk: int = 4096
     eloc_memory_budget_mb: float | None = None
+    comm_codec: bool = True
+    comm_shm: bool = True
 
     def __post_init__(self) -> None:
         _require(isinstance(self.backend, str) and bool(self.backend),
@@ -266,6 +273,10 @@ class ParallelSpec(_Spec):
                      and self.eloc_memory_budget_mb > 0),
                  "parallel.eloc_memory_budget_mb",
                  f"must be None or positive, got {self.eloc_memory_budget_mb!r}")
+        for attr in ("comm_codec", "comm_shm"):
+            v = getattr(self, attr)
+            _require(isinstance(v, bool),
+                     f"parallel.{attr}", f"must be a bool, got {v!r}")
 
 
 @dataclass

@@ -122,6 +122,16 @@ def save_checkpoint(vmc: VMC, path: str | Path) -> None:
     payload["hist_comm_bytes"] = np.array(
         [-1 if s.comm_bytes is None else int(s.comm_bytes) for s in vmc.history]
     )
+    payload["hist_comm_bytes_wire"] = np.array(
+        [-1 if s.comm_bytes_wire is None else int(s.comm_bytes_wire)
+         for s in vmc.history]
+    )
+    baseline = getattr(vmc, "comm_baseline", None)
+    if baseline is not None:
+        # The stage-2 codec's cross-iteration diff baseline: without it a
+        # resumed run would ship one full payload where the uninterrupted run
+        # shipped a diff, breaking bitwise comm-volume equality.
+        payload["comm_baseline"] = np.asarray(baseline)
     payload["hist_per_rank_unique"] = np.array(
         json.dumps([s.per_rank_unique for s in vmc.history])
     )
@@ -148,6 +158,8 @@ def _restore_history(vmc: VMC, data) -> None:
         }
         comm = (data["hist_comm_bytes"] if "hist_comm_bytes" in data
                 else np.full(n, -1))
+        wire = (data["hist_comm_bytes_wire"] if "hist_comm_bytes_wire" in data
+                else np.full(n, -1))
         per_rank = (json.loads(data["hist_per_rank_unique"].item())
                     if "hist_per_rank_unique" in data else [None] * n)
         vmc.history = [
@@ -165,6 +177,7 @@ def _restore_history(vmc: VMC, data) -> None:
                 time_gradient=float(extras["time_gradient"][i]),
                 comm_bytes=None if int(comm[i]) < 0 else int(comm[i]),
                 per_rank_unique=per_rank[i],
+                comm_bytes_wire=None if int(wire[i]) < 0 else int(wire[i]),
             )
             for i in range(n)
         ]
@@ -184,6 +197,9 @@ def load_checkpoint(vmc: VMC, path: str | Path) -> None:
     vmc.wf.set_flat_params(data["params"])
     vmc.iteration = int(data["iteration"])
     vmc.schedule.i = int(data["sched_i"])
+    vmc.comm_baseline = (
+        data["comm_baseline"] if "comm_baseline" in data else None
+    )
     _restore_history(vmc, data)
     if "rng_state" in data:
         vmc.rng = restore_rng(data["rng_state"].item())

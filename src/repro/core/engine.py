@@ -194,6 +194,9 @@ class VMCStats:
     time_gradient: float = field(default=0.0, compare=False)
     comm_bytes: int | None = None     # None: no communicator (serial backend)
     per_rank_unique: list[int] | None = field(default=None)
+    # Wire bytes actually moved (<= comm_bytes with the codec on); None on
+    # serial iterations and on histories recorded before the split existed.
+    comm_bytes_wire: int | None = None
 
 
 def stats_record(stats: VMCStats) -> dict:
@@ -214,6 +217,11 @@ def stats_record(stats: VMCStats) -> dict:
     if stats.comm_bytes is not None:
         rec.update(
             comm_bytes=stats.comm_bytes,
+            comm_bytes_wire=(
+                stats.comm_bytes_wire
+                if stats.comm_bytes_wire is not None
+                else stats.comm_bytes
+            ),
             wall_time=stats.wall_time,
             time_sampling=stats.time_sampling,
             time_local_energy=stats.time_local_energy,
@@ -254,20 +262,82 @@ def stage_sample_parallel(wf, n_samples: int, seed: int, iteration: int,
     return batch_autoregressive_sample(wf, 0, cont_rng, start=my_state)
 
 
-def stage_gather_table(comm, wf, local: SampleBatch):
+def _counts_array(weights: np.ndarray) -> np.ndarray:
+    """Integer multiplicities at natural width: uint32 when they fit (the
+    common case — counts are bounded by the per-rank sample budget), uint64
+    for the paper's N_s -> 1e12 tail."""
+    if weights.size and int(weights.max()) > 0xFFFFFFFF:
+        return weights.astype(np.uint64)
+    return weights.astype(np.uint32)
+
+
+def stage_gather_table(comm, wf, local: SampleBatch, *, codec: bool = True,
+                       baseline: np.ndarray | None = None):
     """Stage 2: Allgather the unique sets; build the global amplitude table.
 
     Returns ``(keys, weights, table)`` with the global unique set lexsorted —
     the rank-independent canonical order every chunk indexes into.
+
+    The multi-rank payload is split into two typed channels:
+
+    * ``stage2_samples`` — packed keys + integer counts.  With ``codec``
+      on, each rank lexsorts locally and ships a delta/varint payload
+      (:mod:`repro.parallel.codec`), diffed against ``baseline`` (the
+      previous iteration's global unique set) when one is available; with
+      ``codec`` off the keys and uint32 counts travel as raw typed arrays.
+    * ``stage2_amps`` — the complex128 log-amplitudes, always raw (lossless
+      float compression is not worth the cycles).
+
+    Amplitudes are evaluated on ``local.bits`` in sampler order *before* any
+    local sort, so the network sees exactly the batches it always saw; the
+    global set is unique across ranks (disjoint BAS subtrees), hence the
+    final lexsort yields the same table bit-for-bit regardless of the wire
+    encoding.
     """
     local_keys = pack_bits(local.bits)
     local_amps = wf.log_amplitudes(local.bits)
-    gathered = comm.allgather(
-        (local_keys, local.weights.astype(np.int64), local_amps)
-    )
-    keys = np.concatenate([g[0] for g in gathered], axis=0)
-    weights = np.concatenate([g[1] for g in gathered])
-    amps = np.concatenate([g[2] for g in gathered])
+    if comm.Get_size() == 1:
+        order = lexsort_keys(local_keys)
+        keys = local_keys[order]
+        weights = local.weights.astype(np.int64)[order]
+        amps = local_amps[order]
+        return keys, weights, AmplitudeTable(keys=keys, log_amps=amps)
+
+    order = lexsort_keys(local_keys)
+    skeys = local_keys[order]
+    sweights = local.weights.astype(np.int64)[order]
+    samps = local_amps[order]
+    rank = comm.Get_rank()
+    if codec and hasattr(comm, "allgather_blob"):
+        from repro.parallel.codec import (
+            decode_sample_payload,
+            encode_sample_payload,
+        )
+
+        blob = encode_sample_payload(skeys, sweights, baseline=baseline)
+        logical = skeys.nbytes + _counts_array(sweights).nbytes
+        blobs = comm.allgather_blob(blob, logical_bytes=logical,
+                                    channel="stage2_samples")
+        key_parts, weight_parts = [], []
+        for r, b in enumerate(blobs):
+            if r == rank:  # own payload: skip the (lossless) decode
+                key_parts.append(skeys)
+                weight_parts.append(sweights)
+            else:
+                k, c = decode_sample_payload(b, baseline=baseline)
+                key_parts.append(k)
+                weight_parts.append(c)
+    else:
+        counts = _counts_array(sweights)
+        key_parts = comm.allgather_ndarray(skeys, channel="stage2_samples")
+        weight_parts = [
+            c.astype(np.int64)
+            for c in comm.allgather_ndarray(counts, channel="stage2_samples")
+        ]
+    amp_parts = comm.allgather_ndarray(samps, channel="stage2_amps")
+    keys = np.concatenate(key_parts, axis=0)
+    weights = np.concatenate(weight_parts)
+    amps = np.concatenate(amp_parts)
     order = lexsort_keys(keys)
     keys, weights, amps = keys[order], weights[order], amps[order]
     return keys, weights, AmplitudeTable(keys=keys, log_amps=amps)
@@ -396,7 +466,11 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
     times["sampling"] = time.perf_counter() - t0
 
     # ---- stage 2: allgather + global amplitude table -----------------------
-    keys, weights, table = stage_gather_table(comm, wf, local)
+    codec = bool(getattr(engine.backend, "comm_codec", True))
+    baseline = getattr(engine, "comm_baseline", None) if codec else None
+    keys, weights, table = stage_gather_table(
+        comm, wf, local, codec=codec, baseline=baseline
+    )
     n_u = len(weights)
 
     # ---- stage 3: local energy on this rank's chunk ------------------------
@@ -427,10 +501,14 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
 
     # ---- stage 6: one allreduce for the gradient + centered 2nd moment -----
     var_local = np.array([np.sum(w_chunk * (eloc.real - e_mean) ** 2)])
-    packed = comm.allreduce_sum(np.concatenate([grad, var_local]))
+    fused = np.concatenate([grad, var_local])
+    if hasattr(comm, "allreduce_ndarray"):
+        packed = comm.allreduce_ndarray(fused, channel="stage6_grads")
+    else:
+        packed = comm.allreduce_sum(fused)
     grad_total, variance = packed[:-1], float(packed[-1] / sums[2])
 
-    return {
+    out = {
         "grad": grad_total,
         "energy": float(e_mean),
         "eloc_imag": float(abs(e_imag)),
@@ -440,6 +518,12 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
         "n_samples": int(n_samples),
         "times": times,
     }
+    if rank == 0 and size > 1 and codec:
+        # Next iteration's diff baseline: the global unique set in canonical
+        # (lexsorted) order.  Only rank 0's copy survives execute(); every
+        # rank rebuilds the identical array, so shipping one is enough.
+        out["global_keys"] = keys
+    return out
 
 
 class _SoloComm:
@@ -459,7 +543,16 @@ class _SoloComm:
     def allgather(self, payload) -> list:
         return [payload]
 
+    def allgather_ndarray(self, array, channel=None) -> list:
+        return [np.asarray(array)]
+
+    def allgather_blob(self, data, logical_bytes=None, channel=None) -> list:
+        return [bytes(data)]
+
     def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        return np.sum([np.asarray(array)], axis=0)
+
+    def allreduce_ndarray(self, array, channel=None) -> np.ndarray:
         return np.sum([np.asarray(array)], axis=0)
 
     def bcast(self, array, root: int = 0):
@@ -473,14 +566,16 @@ class ExecutionBackend:
     """How the staged iteration executes; subclasses schedule the stages.
 
     ``execute(engine)`` runs stages 1-6 and returns ``(rank_results,
-    comm_bytes)``; the engine then applies the single parameter update and
-    calls ``after_update`` so the backend can resync any rank replicas.
+    comm)`` where ``comm`` is ``None`` (no communicator) or a
+    ``(logical_bytes, wire_bytes)`` pair; the engine then applies the single
+    parameter update and calls ``after_update`` so the backend can resync any
+    rank replicas.
     """
 
     name = "?"
     n_ranks = 1
 
-    def execute(self, engine) -> tuple[list[dict], int | None]:
+    def execute(self, engine) -> tuple[list[dict], tuple[int, int] | None]:
         raise NotImplementedError
 
     def after_update(self, engine) -> None:  # pragma: no cover - default hook
@@ -496,7 +591,7 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     n_ranks = 1
 
-    def execute(self, engine) -> tuple[list[dict], int | None]:
+    def execute(self, engine) -> tuple[list[dict], tuple[int, int] | None]:
         result = _rank_iteration(
             engine, _SoloComm(), engine.wf, engine.rng,
             nu_star=0, eloc_partition="balanced",
@@ -526,12 +621,18 @@ class ThreadBackend(ExecutionBackend):
     name = "threads"
 
     def __init__(self, n_ranks: int, nu_star_per_rank: int = 64,
-                 eloc_partition: str = "balanced"):
+                 eloc_partition: str = "balanced", comm_codec: bool = True,
+                 comm_shm: bool = True):
         _validate_rank_args(n_ranks, eloc_partition)
         self.n_ranks = n_ranks
         self.nu_star_per_rank = nu_star_per_rank
         self.eloc_partition = eloc_partition
+        self.comm_codec = bool(comm_codec)
+        # comm_shm is accepted for spec symmetry; thread ranks already share
+        # one address space, so there is nothing to toggle.
+        self.comm_shm = bool(comm_shm)
         self.replicas: list | None = None
+        self.last_comm_stats = None
 
     def _sync_replicas(self, engine) -> np.ndarray:
         if self.replicas is None:
@@ -543,7 +644,7 @@ class ThreadBackend(ExecutionBackend):
             rep.set_flat_params(flat)
         return flat
 
-    def execute(self, engine) -> tuple[list[dict], int | None]:
+    def execute(self, engine) -> tuple[list[dict], tuple[int, int] | None]:
         from repro.parallel.fake_mpi import run_spmd
 
         # Sync before every execute (not just after updates): the master may
@@ -559,10 +660,11 @@ class ThreadBackend(ExecutionBackend):
             )
 
         results, stats = run_spmd(self.n_ranks, rank_fn)
+        self.last_comm_stats = stats
         # The post-update parameter resync is the stage-6 broadcast, realized
         # through shared memory — account its bytes like the collectives.
-        comm_bytes = stats.total_bytes + flat.nbytes * self.n_ranks
-        return results, comm_bytes
+        sync = flat.nbytes * self.n_ranks
+        return results, (stats.total_bytes + sync, stats.total_wire_bytes + sync)
 
     def after_update(self, engine) -> None:
         # Keep replicas in lockstep with the master between iterations (the
@@ -581,14 +683,18 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
 
     def __init__(self, n_ranks: int, nu_star_per_rank: int = 64,
-                 eloc_partition: str = "balanced", timeout: float = 600.0):
+                 eloc_partition: str = "balanced", timeout: float = 600.0,
+                 comm_codec: bool = True, comm_shm: bool = True):
         _validate_rank_args(n_ranks, eloc_partition)
         self.n_ranks = n_ranks
         self.nu_star_per_rank = nu_star_per_rank
         self.eloc_partition = eloc_partition
         self.timeout = timeout
+        self.comm_codec = bool(comm_codec)
+        self.comm_shm = bool(comm_shm)
+        self.last_comm_stats = None
 
-    def execute(self, engine) -> tuple[list[dict], int | None]:
+    def execute(self, engine) -> tuple[list[dict], tuple[int, int] | None]:
         from repro.parallel.multiprocess import run_spmd_processes
 
         nu_star = self.nu_star_per_rank * self.n_ranks
@@ -609,12 +715,14 @@ class ProcessBackend(ExecutionBackend):
             return out
 
         results, stats = run_spmd_processes(self.n_ranks, rank_fn,
-                                            timeout=self.timeout)
+                                            timeout=self.timeout,
+                                            use_shm=self.comm_shm)
+        self.last_comm_stats = stats
         state = results[0].pop("rng_state", None)
         if state is not None:
             engine.rng.bit_generator.state = state
-        comm_bytes = stats.total_bytes + param_bytes * self.n_ranks
-        return results, comm_bytes
+        sync = param_bytes * self.n_ranks
+        return results, (stats.total_bytes + sync, stats.total_wire_bytes + sync)
 
 
 # --------------------------------------------------------------------------
@@ -629,8 +737,17 @@ def execute_iteration(engine) -> VMCStats:
     """
     backend: ExecutionBackend = engine.backend
     t_wall = time.perf_counter()
-    results, comm_bytes = backend.execute(engine)
+    results, comm = backend.execute(engine)
+    if comm is None:
+        comm_bytes = comm_wire = None
+    elif isinstance(comm, tuple):
+        comm_bytes, comm_wire = comm
+    else:  # legacy backends return one logical count
+        comm_bytes = comm_wire = int(comm)
     r0 = results[0]
+    # Rank 0 hands back the lexsorted global unique set when the codec is on;
+    # it becomes the next iteration's cross-iteration diff baseline.
+    engine.comm_baseline = r0.pop("global_keys", None)
     stage_update(engine, r0["grad"])
     backend.after_update(engine)
     wall = time.perf_counter() - t_wall
@@ -653,4 +770,5 @@ def execute_iteration(engine) -> VMCStats:
             None if comm_bytes is None
             else [r["n_local_unique"] for r in results]
         ),
+        comm_bytes_wire=comm_wire,
     )

@@ -166,6 +166,11 @@ class TrainReport:
     v_score: float | None
     error_vs_reference: float | None = None
     correlation_fraction: float | None = None
+    # Cumulative communication volume over the run (None when every
+    # iteration was serial): logical = natural-width payloads, wire = what
+    # the typed/compressed transport actually moved.
+    comm_bytes_logical: int | None = None
+    comm_bytes_wire: int | None = None
 
     def to_dict(self) -> dict:
         """JSON-native form — written as ``report.json`` by the run driver."""
@@ -184,6 +189,11 @@ class TrainReport:
             lines.append(f"|E - E_ref|       {abs(self.error_vs_reference):.2e} Ha")
         if self.correlation_fraction is not None:
             lines.append(f"corr. recovered   {100 * self.correlation_fraction:.1f}%")
+        if self.comm_bytes_logical is not None:
+            lines.append(
+                f"comm volume       {self.comm_bytes_logical / 2**20:.1f} MB "
+                f"logical / {(self.comm_bytes_wire or 0) / 2**20:.1f} MB wire"
+            )
         lines.append(f"wall time         {self.wall_time:.1f} s")
         return "\n".join(lines)
 
@@ -224,6 +234,15 @@ def build_report(
         err = best - e_reference
         if e_hf is not None and abs(e_hf - e_reference) > 1e-14:
             frac = correlation_energy_fraction(best, e_hf, e_reference)
+    comm_iters = [s for s in history if s.comm_bytes is not None]
+    comm_logical = comm_wire = None
+    if comm_iters:
+        comm_logical = sum(int(s.comm_bytes) for s in comm_iters)
+        comm_wire = sum(
+            int(s.comm_bytes_wire if s.comm_bytes_wire is not None
+                else s.comm_bytes)
+            for s in comm_iters
+        )
     return TrainReport(
         energy=energy,
         best_energy=best,
@@ -234,6 +253,8 @@ def build_report(
         v_score=score,
         error_vs_reference=err,
         correlation_fraction=frac,
+        comm_bytes_logical=comm_logical,
+        comm_bytes_wire=comm_wire,
     )
 
 

@@ -11,9 +11,16 @@ The paper states per-iteration volumes for the three communicating stages:
 
 With the paper's example — C2/STO-3G, N = 20, N_u = 2.7e4, N_p = 64,
 M = 2.7e5 — this evaluates to ~171 MB, matching the quoted "about 173 MB".
+
+The *compressed* prediction models the typed/codec wire format of
+:mod:`repro.parallel.codec`: lexsorted keys delta/varint-encoded (expected
+gap ~ 2^N / N_u, i.e. ``max(1, N - log2(N_u))`` significant bits per delta,
+7 bits per varint byte), weights as uint32 counts, amplitudes still a raw
+complex128 — the incompressible floor of the stage-2 payload.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["CommVolumeModel", "comm_volume_bytes"]
@@ -51,6 +58,38 @@ class CommVolumeModel:
             + self.allreduce_gradient_bytes
         )
 
+    # ------------------------------------------------- compressed (wire) model
+    @property
+    def compressed_sample_record_bytes(self) -> float:
+        """Expected wire bytes per unique sample with the delta/varint codec.
+
+        Keys: consecutive lexsorted keys differ by ~2^N / N_u on average, so
+        a delta carries ``max(1, N - log2(N_u))`` significant bits at 7 bits
+        per varint byte.  Weights: a uint32 count varint-encodes to <= 5
+        bytes (typically 1-2; we charge 2).  Amplitudes stay a raw
+        complex128 — they travel on the separate uncompressed channel.
+        """
+        delta_bits = max(1.0, self.n_qubits - math.log2(max(self.n_unique, 2)))
+        key_bytes = math.ceil(delta_bits / 7)
+        count_bytes = 2
+        amp_bytes = 16
+        return key_bytes + count_bytes + amp_bytes
+
+    @property
+    def compressed_allgather_samples_bytes(self) -> int:
+        return int(
+            self.n_unique * self.n_ranks * self.compressed_sample_record_bytes
+        )
+
+    @property
+    def compressed_total_bytes(self) -> int:
+        """Predicted wire total: compressed stage 2, raw reductions."""
+        return (
+            self.compressed_allgather_samples_bytes
+            + self.allreduce_energy_bytes
+            + self.allreduce_gradient_bytes
+        )
+
     def breakdown(self) -> dict[str, float]:
         mb = 1e6  # decimal MB, the unit the paper quotes ("about 173 MB")
         return {
@@ -58,6 +97,16 @@ class CommVolumeModel:
             "stage4_allreduce_energy_MB": self.allreduce_energy_bytes / mb,
             "stage6_allreduce_gradients_MB": self.allreduce_gradient_bytes / mb,
             "total_MB": self.total_bytes / mb,
+        }
+
+    def compressed_breakdown(self) -> dict[str, float]:
+        mb = 1e6
+        return {
+            "stage2_allgather_samples_MB":
+                self.compressed_allgather_samples_bytes / mb,
+            "stage4_allreduce_energy_MB": self.allreduce_energy_bytes / mb,
+            "stage6_allreduce_gradients_MB": self.allreduce_gradient_bytes / mb,
+            "total_MB": self.compressed_total_bytes / mb,
         }
 
 

@@ -10,9 +10,21 @@ wall-clock parallelism on multicore hosts — that is what the strong/weak
 scaling benches measure.
 
 Every collective records the bytes it would move on a real network using the
-paper's accounting convention (payload bytes x N_p), so the Sec. 3.2
-communication-volume figures are measured, not estimated.  The API mirrors
-mpi4py closely enough that porting the drivers to real MPI is an import swap.
+paper's accounting convention (payload bytes x N_p), split two ways:
+
+* **logical bytes** — the uncompressed, natural-width payload (what the
+  Sec. 3.2 closed-form model predicts);
+* **wire bytes** — what actually crosses the transport after the typed /
+  compressed path (:mod:`repro.parallel.codec`); equal to logical for raw
+  collectives.
+
+The typed collectives — :meth:`FakeComm.allgather_ndarray` (thread ranks
+share array references, zero copies), :meth:`FakeComm.allgather_blob`
+(pre-encoded bytes with a caller-declared logical size) and
+:meth:`FakeComm.allreduce_ndarray` — are the interface the process backend
+implements over ``multiprocessing.shared_memory`` and a future cluster
+backend would implement over sockets/MPI.  The API mirrors mpi4py closely
+enough that porting the drivers to real MPI is an import swap.
 """
 from __future__ import annotations
 
@@ -27,22 +39,52 @@ __all__ = ["CommStats", "FakeComm", "run_spmd"]
 
 @dataclass
 class CommStats:
-    """Byte counters per collective (paper convention: payload x N_p)."""
+    """Byte counters per collective (paper convention: payload x N_p).
+
+    ``*_bytes`` counters are *logical* volume (uncompressed, natural width —
+    backward compatible with the pre-codec accounting); ``*_wire_bytes``
+    are what actually moved.  ``channels`` breaks both down by the logical
+    channel name a collective was tagged with (e.g. ``stage2_samples``).
+    """
 
     allgather_bytes: int = 0
     allreduce_bytes: int = 0
     bcast_bytes: int = 0
+    allgather_wire_bytes: int = 0
+    allreduce_wire_bytes: int = 0
+    bcast_wire_bytes: int = 0
     calls: dict = field(
         default_factory=lambda: {"allgather": 0, "allreduce": 0, "bcast": 0}
     )
+    channels: dict = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return self.allgather_bytes + self.allreduce_bytes + self.bcast_bytes
 
-    def add(self, op: str, nbytes: int) -> None:
+    @property
+    def total_wire_bytes(self) -> int:
+        return (
+            self.allgather_wire_bytes
+            + self.allreduce_wire_bytes
+            + self.bcast_wire_bytes
+        )
+
+    def add(self, op: str, nbytes: int, wire: int | None = None,
+            channel: str | None = None) -> None:
+        wire = nbytes if wire is None else wire
         setattr(self, f"{op}_bytes", getattr(self, f"{op}_bytes") + nbytes)
+        setattr(
+            self, f"{op}_wire_bytes", getattr(self, f"{op}_wire_bytes") + wire
+        )
         self.calls[op] += 1
+        if channel is not None:
+            rec = self.channels.setdefault(
+                channel, {"logical": 0, "wire": 0, "calls": 0}
+            )
+            rec["logical"] += nbytes
+            rec["wire"] += wire
+            rec["calls"] += 1
 
 
 class _World:
@@ -92,6 +134,12 @@ class FakeComm:
                 w.slots.pop(key, None)
         return result
 
+    def _account(self, op: str, nbytes: int, wire: int | None = None,
+                 channel: str | None = None) -> None:
+        if self._rank == 0:
+            with self._world.lock:
+                self._world.stats.add(op, nbytes, wire=wire, channel=channel)
+
     # ------------------------------------------------------------ collectives
     def barrier(self) -> None:
         self._world.barrier.wait()
@@ -99,28 +147,71 @@ class FakeComm:
     def allgather(self, payload) -> list:
         """Gather one object per rank onto all ranks; returns the rank-ordered list."""
         result = self._exchange("allgather", payload)
-        if self._rank == 0:
-            with self._world.lock:
-                self._world.stats.add(
-                    "allgather", sum(_payload_bytes(p) for p in result) * self._world.size
-                )
+        self._account(
+            "allgather", sum(_payload_bytes(p) for p in result) * self._world.size
+        )
         return result
+
+    def allgather_ndarray(self, array: np.ndarray,
+                          channel: str | None = None) -> list[np.ndarray]:
+        """Typed allgather of one ndarray per rank (zero-copy between threads).
+
+        Thread ranks share references to each other's arrays — no pickling,
+        no copies; callers must treat the returned arrays as read-only.
+        """
+        array = np.asarray(array)
+        result = self._exchange("allgather", array)
+        self._account(
+            "allgather", sum(a.nbytes for a in result) * self._world.size,
+            channel=channel,
+        )
+        return result
+
+    def allgather_blob(self, data: bytes, logical_bytes: int | None = None,
+                       channel: str | None = None) -> list[bytes]:
+        """Allgather pre-encoded bytes; accounts logical vs. wire separately.
+
+        ``logical_bytes`` declares the uncompressed payload size the blob
+        stands for (defaults to ``len(data)``), so compressed collectives
+        report an honest logical/wire split.
+        """
+        payload = (bytes(data),
+                   len(data) if logical_bytes is None else int(logical_bytes))
+        result = self._exchange("allgather", payload)
+        size = self._world.size
+        self._account(
+            "allgather",
+            sum(logical for _, logical in result) * size,
+            wire=sum(len(blob) for blob, _ in result) * size,
+            channel=channel,
+        )
+        return [blob for blob, _ in result]
 
     def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
         """Sum-reduce a numpy array across ranks; result identical on every rank."""
+        return self.allreduce_ndarray(array)
+
+    def allreduce_ndarray(self, array: np.ndarray,
+                          channel: str | None = None) -> np.ndarray:
+        """Typed sum-allreduce; rank-ordered reduction, deterministic result.
+
+        Identical arithmetic to the historical ``allreduce_sum`` (one
+        ``np.sum`` over the rank-ordered payload list), so enabling the typed
+        path never perturbs trajectories.
+        """
         array = np.asarray(array)
         result = self._exchange("allreduce", array)
-        if self._rank == 0:
-            with self._world.lock:
-                self._world.stats.add("allreduce", array.nbytes * self._world.size)
+        self._account(
+            "allreduce", array.nbytes * self._world.size, channel=channel
+        )
         return np.sum(result, axis=0)
 
     def bcast(self, array, root: int = 0):
         payload = array if self._rank == root else None
         result = self._exchange("bcast", payload)
-        if self._rank == 0:
-            with self._world.lock:
-                self._world.stats.add("bcast", _payload_bytes(result[root]) * self._world.size)
+        self._account(
+            "bcast", _payload_bytes(result[root]) * self._world.size
+        )
         return result[root]
 
 
@@ -131,6 +222,8 @@ def _payload_bytes(payload) -> int:
         return payload.nbytes
     if isinstance(payload, (tuple, list)):
         return sum(_payload_bytes(p) for p in payload)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
     return np.asarray(payload).nbytes
 
 

@@ -9,19 +9,34 @@ thread in the parent — true interpreter-level parallelism with explicit
 message passing, one step closer to real MPI.
 
 Semantics match ``run_spmd`` (allgather / allreduce_sum / bcast / barrier,
-byte accounting with the paper's payload x N_p convention), with the MPI-like
-restriction that **rank state is private**: unlike thread ranks, writes to
-captured objects are not visible across ranks — everything shared must flow
-through a collective.  The data-centric drivers honor that contract already;
-tests pin it down.
+byte accounting with the paper's payload x N_p convention, logical vs. wire
+split), with the MPI-like restriction that **rank state is private**: unlike
+thread ranks, writes to captured objects are not visible across ranks —
+everything shared must flow through a collective.  The data-centric drivers
+honor that contract already; tests pin it down.
 
-Linux-only (uses the fork start method so closures need not pickle); payloads
-are exchanged via pickle over pipes.
+Large typed collectives (``allgather_ndarray`` / ``allreduce_ndarray``) move
+raw bytes through ``multiprocessing.shared_memory`` segments instead of
+pickle-over-pipes: the posting rank writes its array into a named segment
+and ships only a tiny ``(name, dtype, shape, nbytes)`` meta record through
+the pipe; peers attach and read the bytes directly.  Segment lifecycle is
+owned by the parent coordinator: a collective's segments are unlinked as
+soon as every live rank has issued its *next* collective (proof that the
+segments were read), at coordinator shutdown, and — belt and braces — by a
+name-prefix sweep of ``/dev/shm`` in the parent's ``finally``, so a rank
+crash mid-collective never leaks ``/dev/shm`` blocks.  Small payloads and
+pre-encoded blobs (``allgather_blob``) stay on the pipe, where pickling a
+``bytes`` object is a plain memcpy.
+
+Linux-only (uses the fork start method so closures need not pickle).
 """
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
+import os
 import threading
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -30,14 +45,81 @@ from repro.parallel.fake_mpi import CommStats, _payload_bytes
 
 __all__ = ["ProcessComm", "run_spmd_processes", "ServiceClient", "run_service_clients"]
 
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _shared_memory = None
+
+_RUN_COUNTER = itertools.count()
+# Payloads below this ride the pipe: segment setup costs more than a small
+# pickle, and SharedMemory cannot be zero-sized anyway.
+_DEFAULT_SHM_THRESHOLD = 1 << 16
+# allreduce accumulation granularity: bounds resident temporaries without
+# changing the rank-ordered elementwise add (bit-identical to any chunking).
+_REDUCE_CHUNK_BYTES = 4 << 20
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the resource tracker pre-fork so all ranks share one tracker.
+
+    Python registers shared-memory names with the tracker on *attach* as
+    well as create; with a single inherited tracker, one unlink balances the
+    books and no spurious "leaked shared_memory" warnings fire at exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker is an optimization only
+        pass
+
+
+def _unlink_segments(names, registry: set | None = None) -> None:
+    """Unlink shared-memory segments by name; missing segments are fine."""
+    if _shared_memory is None:  # pragma: no cover
+        return
+    for name in list(names):
+        try:
+            seg = _shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - defensive
+            pass
+        else:
+            seg.close()
+            seg.unlink()
+        if registry is not None:
+            registry.discard(name)
+
+
+def _unlink_stray_segments(prefix: str) -> None:
+    """Sweep ``/dev/shm`` for segments a crashed rank created but never
+    announced to the coordinator (created-then-died window)."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return
+    for p in shm_dir.glob(f"{prefix}-*"):
+        _unlink_segments([p.name])
+
 
 class ProcessComm:
-    """Per-rank communicator speaking to the parent coordinator over a pipe."""
+    """Per-rank communicator speaking to the parent coordinator over a pipe.
 
-    def __init__(self, rank: int, size: int, conn):
+    Typed collectives above ``shm_threshold`` bytes move through named
+    shared-memory segments (zero pickling of array payloads); everything
+    else — control traffic, small arrays, pre-compressed blobs — rides the
+    pipe.  ``use_shm=False`` forces the pipe path everywhere.
+    """
+
+    def __init__(self, rank: int, size: int, conn, *, use_shm: bool = False,
+                 shm_prefix: str = "", shm_threshold: int = _DEFAULT_SHM_THRESHOLD):
         self._rank = rank
         self._size = size
         self._conn = conn
+        self._use_shm = bool(use_shm) and _shared_memory is not None
+        self._shm_prefix = shm_prefix
+        self._shm_threshold = max(1, int(shm_threshold))
+        self._shm_seq = 0
 
     def Get_rank(self) -> int:
         return self._rank
@@ -45,69 +127,255 @@ class ProcessComm:
     def Get_size(self) -> int:
         return self._size
 
-    def _collective(self, op: str, payload):
+    # ------------------------------------------------------------- internals
+    def _collective(self, op, payload):
         self._conn.send((op, payload))
-        return self._conn.recv()
+        try:
+            status, value = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"rank {self._rank}: communicator closed mid-collective"
+            ) from None
+        if status == "abort":
+            raise RuntimeError(f"collective aborted: {value}")
+        return value
 
+    def _shm_wanted(self, nbytes: int) -> bool:
+        return self._use_shm and nbytes >= self._shm_threshold
+
+    def _post_segment(self, array: np.ndarray):
+        """Write ``array`` into a fresh named segment; returns its meta."""
+        name = f"{self._shm_prefix}-{self._rank}-{self._shm_seq}"
+        self._shm_seq += 1
+        seg = _shared_memory.SharedMemory(name=name, create=True,
+                                          size=array.nbytes)
+        dst = np.frombuffer(seg.buf, dtype=array.dtype)[: array.size]
+        np.copyto(dst, array.reshape(-1))
+        del dst
+        seg.close()
+        return (name, array.dtype.str, array.shape, array.nbytes)
+
+    def _read_segment(self, meta) -> np.ndarray:
+        name, dtype_str, shape, nbytes = meta
+        dt = np.dtype(dtype_str)
+        seg = _shared_memory.SharedMemory(name=name)
+        flat = np.frombuffer(seg.buf, dtype=dt)[: nbytes // dt.itemsize]
+        out = flat.copy().reshape(shape)
+        del flat
+        seg.close()
+        return out
+
+    # ------------------------------------------------------------ collectives
     def barrier(self) -> None:
         self._collective("barrier", None)
 
     def allgather(self, payload) -> list:
         return self._collective("allgather", payload)
 
+    def allgather_ndarray(self, array: np.ndarray,
+                          channel: str | None = None) -> list[np.ndarray]:
+        """Typed allgather; large arrays move as raw shared-memory bytes."""
+        array = np.ascontiguousarray(array)
+        if self._shm_wanted(array.nbytes):
+            meta = self._post_segment(array)
+            metas = self._collective("shm_allgather", (meta, channel))
+            return [
+                array if m[0] == meta[0] else self._read_segment(m)
+                for m in metas
+            ]
+        return self._collective("allgather_nd", (array, channel))
+
+    def allgather_blob(self, data: bytes, logical_bytes: int | None = None,
+                       channel: str | None = None) -> list[bytes]:
+        """Allgather pre-encoded bytes (compressed payloads stay on the pipe:
+        pickling ``bytes`` is a memcpy, and they are small by construction)."""
+        payload = (bytes(data),
+                   len(data) if logical_bytes is None else int(logical_bytes),
+                   channel)
+        return self._collective("allgather_blob", payload)
+
     def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
         return self._collective("allreduce", np.asarray(array))
+
+    def allreduce_ndarray(self, array: np.ndarray,
+                          channel: str | None = None) -> np.ndarray:
+        """Typed sum-allreduce, in-place and chunked over shared memory.
+
+        Each rank posts its contribution once and accumulates the rank-ordered
+        sum locally in ``_REDUCE_CHUNK_BYTES`` chunks — the parent never
+        materializes N_p gradient copies, and the arithmetic (sequential
+        rank-ordered adds) is bit-identical to the pipe path's
+        ``total = total + p`` loop.
+        """
+        array = np.ascontiguousarray(array)
+        if self._shm_wanted(array.nbytes):
+            meta = self._post_segment(array)
+            metas = self._collective("shm_allreduce", (meta, channel))
+            return self._reduce_segments(array, meta, metas)
+        return self._collective("allreduce_nd", (array, channel))
+
+    def _reduce_segments(self, own: np.ndarray, own_meta, metas) -> np.ndarray:
+        dt = own.dtype
+        n = own.size
+        segs, views = [], []
+        try:
+            for m in metas:
+                if m[0] == own_meta[0]:
+                    views.append(own.reshape(-1))
+                else:
+                    seg = _shared_memory.SharedMemory(name=m[0])
+                    segs.append(seg)
+                    views.append(np.frombuffer(seg.buf, dtype=dt)[:n])
+            out = np.empty(n, dtype=dt)
+            _accumulate_rank_ordered(out, views)
+        finally:
+            # Release every buffer export before closing the mappings — a
+            # surviving view would make mmap.close() raise BufferError.
+            views.clear()
+            for seg in segs:
+                seg.close()
+        return out.reshape(own.shape)
 
     def bcast(self, array, root: int = 0):
         return self._collective(("bcast", root), array if self._rank == root else None)
 
 
-def _coordinator(parent_conns, stats: CommStats, stop_flag):
-    """Serve collectives: wait for all ranks, compute, reply to all ranks."""
+def _accumulate_rank_ordered(out: np.ndarray, views: list) -> None:
+    """Chunked ``out = views[0] + views[1] + ...`` in rank order.
+
+    A separate function so its locals (buffer views into shared-memory
+    mappings) are dropped on return; chunking bounds resident temporaries
+    without changing the elementwise, rank-ordered IEEE adds.
+    """
+    step = max(1, _REDUCE_CHUNK_BYTES // max(1, out.itemsize))
+    for s in range(0, out.size, step):
+        sl = slice(s, s + step)
+        np.copyto(out[sl], views[0][sl])
+        for v in views[1:]:
+            out[sl] += v[sl]
+
+
+def _abort_ranks(parent_conns, live, message: str) -> None:
+    """Poison every live rank so it fails fast instead of hanging in recv."""
+    for r, conn in enumerate(parent_conns):
+        if live[r]:
+            try:
+                conn.send(("abort", message))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+def _coordinator(parent_conns, stats: CommStats, stop_flag,
+                 shm_registry: set):
+    """Serve collectives: wait for all ranks, compute, reply to all ranks.
+
+    Shared-memory segments announced in collective *t* are unlinked once
+    every live rank has posted collective *t+1* (or hit EOF) — by then every
+    reader has copied out of them.  On any protocol error the live ranks get
+    an ``("abort", msg)`` poison reply instead of waiting forever, and the
+    pending segments are unlinked before returning.
+    """
     size = len(parent_conns)
     live = [True] * size
-    while not stop_flag[0] and any(live):
-        requests = [None] * size
-        got = 0
-        for r, conn in enumerate(parent_conns):
-            if not live[r]:
-                continue
+    pending_unlink: list[str] = []
+    try:
+        while not stop_flag[0] and any(live):
+            requests = [None] * size
+            got = 0
+            for r, conn in enumerate(parent_conns):
+                if not live[r]:
+                    continue
+                try:
+                    requests[r] = conn.recv()
+                    got += 1
+                except EOFError:
+                    live[r] = False
+            # Every live rank has moved past the previous collective, so its
+            # segments have been read everywhere: safe to unlink them now.
+            _unlink_segments(pending_unlink, shm_registry)
+            pending_unlink = []
+            if got == 0:
+                return
+            if got != sum(live):
+                _abort_ranks(parent_conns, live,
+                             "ranks issued mismatched collective counts")
+                return
+            ops = {req[0] if not isinstance(req[0], tuple) else req[0][0]
+                   for req in requests if req is not None}
+            if len(ops) != 1:
+                _abort_ranks(parent_conns, live,
+                             f"ranks issued different collectives: {ops}")
+                return
+            op = ops.pop()
+            payloads = [req[1] for req in requests if req is not None]
+            if op == "barrier":
+                replies = [None] * size
+            elif op == "allgather":
+                stats.add("allgather",
+                          sum(_payload_bytes(p) for p in payloads) * size)
+                replies = [list(payloads)] * size
+            elif op == "allgather_nd":
+                arrays = [p[0] for p in payloads]
+                stats.add("allgather", sum(a.nbytes for a in arrays) * size,
+                          channel=payloads[0][1])
+                replies = [arrays] * size
+            elif op == "allgather_blob":
+                blobs = [p[0] for p in payloads]
+                stats.add("allgather",
+                          sum(p[1] for p in payloads) * size,
+                          wire=sum(len(b) for b in blobs) * size,
+                          channel=payloads[0][2])
+                replies = [blobs] * size
+            elif op == "shm_allgather":
+                metas = [p[0] for p in payloads]
+                stats.add("allgather", sum(m[3] for m in metas) * size,
+                          channel=payloads[0][1])
+                for m in metas:
+                    shm_registry.add(m[0])
+                    pending_unlink.append(m[0])
+                replies = [metas] * size
+            elif op == "allreduce":
+                total = payloads[0]
+                for p in payloads[1:]:
+                    total = total + p
+                stats.add("allreduce", np.asarray(payloads[0]).nbytes * size)
+                replies = [total] * size
+            elif op == "allreduce_nd":
+                arrays = [p[0] for p in payloads]
+                total = arrays[0]
+                for p in arrays[1:]:
+                    total = total + p
+                stats.add("allreduce", arrays[0].nbytes * size,
+                          channel=payloads[0][1])
+                replies = [total] * size
+            elif op == "shm_allreduce":
+                metas = [p[0] for p in payloads]
+                stats.add("allreduce", metas[0][3] * size,
+                          channel=payloads[0][1])
+                for m in metas:
+                    shm_registry.add(m[0])
+                    pending_unlink.append(m[0])
+                replies = [metas] * size
+            elif op == "bcast":
+                root = next(req[0][1] for req in requests if req is not None)
+                value = payloads[root]
+                stats.add("bcast", _payload_bytes(value) * size)
+                replies = [value] * size
+            else:  # pragma: no cover - defensive
+                _abort_ranks(parent_conns, live, f"unknown collective {op!r}")
+                return
+            for r, conn in enumerate(parent_conns):
+                if live[r]:
+                    conn.send(("ok", replies[r]))
+    finally:
+        _unlink_segments(pending_unlink, shm_registry)
+        # Closing the pipes unblocks any straggler rank still waiting on a
+        # reply after an abort, turning a silent hang into a fast error.
+        for conn in parent_conns:
             try:
-                requests[r] = conn.recv()
-                got += 1
-            except EOFError:
-                live[r] = False
-        if got == 0:
-            return
-        if got != sum(live):
-            raise RuntimeError("ranks issued mismatched collective counts")
-        ops = {req[0] if not isinstance(req[0], tuple) else req[0][0]
-               for req in requests if req is not None}
-        if len(ops) != 1:
-            raise RuntimeError(f"ranks issued different collectives: {ops}")
-        op = ops.pop()
-        payloads = [req[1] for req in requests if req is not None]
-        if op == "barrier":
-            replies = [None] * size
-        elif op == "allgather":
-            stats.add("allgather", sum(_payload_bytes(p) for p in payloads) * size)
-            replies = [list(payloads)] * size
-        elif op == "allreduce":
-            total = payloads[0]
-            for p in payloads[1:]:
-                total = total + p
-            stats.add("allreduce", np.asarray(payloads[0]).nbytes * size)
-            replies = [total] * size
-        elif op == "bcast":
-            root = next(req[0][1] for req in requests if req is not None)
-            value = payloads[root]
-            stats.add("bcast", _payload_bytes(value) * size)
-            replies = [value] * size
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown collective {op!r}")
-        for r, conn in enumerate(parent_conns):
-            if live[r]:
-                conn.send(replies[r])
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
 
 
 def _close_foreign_pipe_ends(rank: int, *pipe_lists) -> None:
@@ -186,29 +454,49 @@ def _collect_rank_results(result_conns, procs, timeout: float):
 
 
 def run_spmd_processes(
-    size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0
+    size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0,
+    *, use_shm: bool = True, shm_threshold: int = _DEFAULT_SHM_THRESHOLD,
 ) -> tuple[list, CommStats]:
     """Run ``fn(comm)`` as ``size`` forked processes; returns (results, stats).
 
     Rank return values are pickled back to the parent.  A rank exception is
-    re-raised in the parent (wrapped with the rank id).
+    re-raised in the parent (wrapped with the rank id).  ``use_shm`` routes
+    large typed collectives through named shared-memory segments; whatever
+    happens — clean exit, rank exception, hard kill mid-collective — every
+    segment of this run is unlinked before this function returns (deferred
+    unlink in the coordinator + a name-prefix sweep of ``/dev/shm``).
     """
+    use_shm = bool(use_shm) and _shared_memory is not None
+    shm_prefix = f"reprocomm-{os.getpid()}-{next(_RUN_COUNTER)}"
+    if use_shm:
+        _ensure_resource_tracker()
     parent_conns, result_conns, procs = _fork_rank_workers(
-        size, lambda rank, conn: fn(ProcessComm(rank, size, conn))
+        size,
+        lambda rank, conn: fn(ProcessComm(
+            rank, size, conn, use_shm=use_shm, shm_prefix=shm_prefix,
+            shm_threshold=shm_threshold,
+        )),
     )
     stats = CommStats()
     stop_flag = [False]
+    shm_registry: set[str] = set()
     # Daemon: a coordinator wedged on a half-dead rank set must never block
     # interpreter shutdown (it is joined with a timeout below regardless).
     coord = threading.Thread(
-        target=_coordinator, args=(parent_conns, stats, stop_flag),
+        target=_coordinator,
+        args=(parent_conns, stats, stop_flag, shm_registry),
         daemon=True,
     )
     coord.start()
 
-    results, error = _collect_rank_results(result_conns, procs, timeout)
-    stop_flag[0] = True
-    coord.join(timeout=10)
+    try:
+        results, error = _collect_rank_results(result_conns, procs, timeout)
+    finally:
+        stop_flag[0] = True
+        coord.join(timeout=10)
+        if use_shm:
+            _unlink_segments(list(shm_registry), shm_registry)
+            _unlink_stray_segments(shm_prefix)
     if error is not None:
         raise RuntimeError(error)
     return results, stats

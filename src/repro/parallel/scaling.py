@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import ThreadBackend
+from repro.core.engine import ProcessBackend, ThreadBackend
 from repro.core.vmc import VMC, VMCConfig
 from repro.core.wavefunction import NNQSWavefunction
 from repro.hamiltonian.compressed import CompressedHamiltonian
@@ -34,6 +34,7 @@ class ScalingPoint:
     time_gradient: float
     n_unique: int
     comm_bytes: int
+    comm_bytes_wire: int = 0
 
 
 def measure_scaling(
@@ -46,26 +47,38 @@ def measure_scaling(
     config: VMCConfig | None = None,
     nu_star_per_rank: int = 64,
     eloc_partition: str = "balanced",
+    backend: str = "threads",
+    comm_codec: bool = True,
+    comm_shm: bool = True,
 ) -> list[ScalingPoint]:
     """Measure per-iteration stage times for each rank count.
 
     ``wf_factory()`` must return a *fresh identically-seeded* wavefunction so
     every rank count optimizes the same model; ``n_samples_for(n_ranks)``
     fixes the workload (constant for strong scaling, proportional for weak).
-    Iterations run on the unified engine's :class:`ThreadBackend`;
-    ``eloc_partition`` selects the Sec. 3.3 weight-balanced chunking
-    (default) or the naive contiguous split for comparison.
+    Iterations run on the unified engine's :class:`ThreadBackend` (default)
+    or :class:`ProcessBackend` (``backend="process"``); ``eloc_partition``
+    selects the Sec. 3.3 weight-balanced chunking (default) or the naive
+    contiguous split for comparison; ``comm_codec`` / ``comm_shm`` toggle the
+    typed/compressed comm layer for before/after bench comparisons.
     """
+    if backend not in ("threads", "process"):
+        raise ValueError(
+            f"measure_scaling backend must be 'threads' or 'process', "
+            f"got {backend!r}"
+        )
     points = []
     for n_ranks in rank_counts:
         wf: NNQSWavefunction = wf_factory()
         cfg = config or VMCConfig(eloc_mode="sample_aware")
         cfg.n_samples = n_samples_for(n_ranks)
+        backend_cls = ThreadBackend if backend == "threads" else ProcessBackend
         driver = VMC(
             wf, comp, cfg,
-            backend=ThreadBackend(
+            backend=backend_cls(
                 n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
                 eloc_partition=eloc_partition,
+                comm_codec=comm_codec, comm_shm=comm_shm,
             ),
         )
         for _ in range(warmup_iters):
@@ -81,6 +94,8 @@ def measure_scaling(
                 time_gradient=float(np.median([s.time_gradient for s in stats])),
                 n_unique=stats[-1].n_unique,
                 comm_bytes=stats[-1].comm_bytes,
+                comm_bytes_wire=(stats[-1].comm_bytes_wire
+                                 or stats[-1].comm_bytes),
             )
         )
     return points
@@ -152,6 +167,7 @@ def model_scaling(
                 time_gradient=t_grad,
                 n_unique=n_unique,
                 comm_bytes=comm.total_bytes,
+                comm_bytes_wire=comm.compressed_total_bytes,
             )
         )
     return out

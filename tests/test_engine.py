@@ -126,6 +126,93 @@ class TestProcessBackend:
         )
 
 
+class TestCommLayerInvariance:
+    """The tentpole contract: codec x shm are pure *wire* optimizations.
+
+    Every combination must leave energies, variances and the parameter
+    trajectory bit-identical; what changes is only the wire-byte accounting
+    (codec on => stage-2 samples wire < logical).
+    """
+
+    def _trajectory(self, problem, backend, steps=3):
+        vmc = _fresh_vmc(problem, backend=backend)
+        hist = [vmc.step() for _ in range(steps)]
+        return hist, vmc.wf.get_flat_params()
+
+    @pytest.mark.parametrize("codec", [True, False])
+    def test_thread_codec_toggle_bit_identical(self, h2_problem, codec):
+        ref_hist, ref_params = self._trajectory(
+            h2_problem, ThreadBackend(n_ranks=2, nu_star_per_rank=4,
+                                      comm_codec=True))
+        hist, params = self._trajectory(
+            h2_problem, ThreadBackend(n_ranks=2, nu_star_per_rank=4,
+                                      comm_codec=codec))
+        for a, b in zip(ref_hist, hist):
+            assert a.energy == b.energy
+            assert a.variance == b.variance
+            assert a.eloc_imag == b.eloc_imag
+        np.testing.assert_array_equal(ref_params, params)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("codec", [True, False])
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_process_codec_shm_combos_match_threads(self, h2_problem,
+                                                    codec, shm):
+        ref_hist, ref_params = self._trajectory(
+            h2_problem, ThreadBackend(n_ranks=2, nu_star_per_rank=4), steps=2)
+        hist, params = self._trajectory(
+            h2_problem, ProcessBackend(n_ranks=2, nu_star_per_rank=4,
+                                       comm_codec=codec, comm_shm=shm),
+            steps=2)
+        for a, b in zip(ref_hist, hist):
+            assert a.energy == b.energy
+            assert a.variance == b.variance
+        np.testing.assert_array_equal(ref_params, params)
+
+    def test_codec_shrinks_stage2_wire_bytes(self, h2_problem):
+        backend = ThreadBackend(n_ranks=2, nu_star_per_rank=4)
+        vmc = _fresh_vmc(h2_problem, backend=backend)
+        for _ in range(2):
+            stats = vmc.step()
+        assert stats.comm_bytes_wire is not None
+        assert stats.comm_bytes_wire < stats.comm_bytes
+        chan = backend.last_comm_stats.channels["stage2_samples"]
+        assert chan["wire"] < chan["logical"]
+        # amplitudes travel raw: their channel never compresses
+        amp = backend.last_comm_stats.channels["stage2_amps"]
+        assert amp["wire"] == amp["logical"]
+
+    def test_codec_off_reports_equal_logical_and_wire(self, h2_problem):
+        backend = ThreadBackend(n_ranks=2, nu_star_per_rank=4,
+                                comm_codec=False)
+        vmc = _fresh_vmc(h2_problem, backend=backend)
+        stats = vmc.step()
+        assert stats.comm_bytes_wire == stats.comm_bytes
+
+    def test_diff_baseline_never_inflates_and_stays_bitwise(self, h2_problem):
+        """The cross-iteration baseline is a pure win-or-tie: the encoder
+        falls back to the full delta stream when the diff would be bigger,
+        and either way the trajectory is untouched."""
+        diffed_backend = ThreadBackend(n_ranks=2, nu_star_per_rank=4)
+        diffed = _fresh_vmc(h2_problem, backend=diffed_backend)
+        full_backend = ThreadBackend(n_ranks=2, nu_star_per_rank=4)
+        full = _fresh_vmc(h2_problem, backend=full_backend)
+        for _ in range(3):
+            a = diffed.step()
+            full.comm_baseline = None  # force full payloads every iteration
+            b = full.step()
+            assert a.energy == b.energy
+            assert a.variance == b.variance
+            wire_diff = diffed_backend.last_comm_stats.channels[
+                "stage2_samples"]["wire"]
+            wire_full = full_backend.last_comm_stats.channels[
+                "stage2_samples"]["wire"]
+            assert wire_diff <= wire_full
+        np.testing.assert_array_equal(
+            diffed.wf.get_flat_params(), full.wf.get_flat_params()
+        )
+
+
 class TestParallelResume:
     def test_checkpointed_parallel_run_resumes_bitwise(self, h2_problem, tmp_path):
         path = tmp_path / "ck.npz"

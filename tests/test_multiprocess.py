@@ -1,6 +1,7 @@
 """Tests for the process-backed SPMD executor."""
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -10,6 +11,11 @@ from repro.parallel import run_spmd, run_spmd_processes
 # Process spawning is slow (and barrier-timeout recovery takes minutes on
 # constrained runners), so the whole module sits behind the slow marker.
 pytestmark = pytest.mark.slow
+
+
+def _leaked_segments() -> list[str]:
+    """Names of any live shared-memory segments this executor created."""
+    return [p.name for p in Path("/dev/shm").glob("reprocomm-*")]
 
 
 class TestCollectives:
@@ -63,6 +69,103 @@ class TestCollectives:
         _, s_thread = run_spmd(2, fn)
         assert s_proc.allgather_bytes == s_thread.allgather_bytes
         assert s_proc.allreduce_bytes == s_thread.allreduce_bytes
+
+
+class TestTypedCollectives:
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_allgather_ndarray_roundtrip(self, use_shm):
+        def fn(comm):
+            arr = np.arange(5, dtype=np.float64) + 10 * comm.Get_rank()
+            return comm.allgather_ndarray(arr, channel="t")
+
+        # threshold=0 forces every array through the shm path when enabled
+        results, stats = run_spmd_processes(2, fn, use_shm=use_shm,
+                                            shm_threshold=0)
+        for parts in results:
+            np.testing.assert_array_equal(parts[0], np.arange(5.0))
+            np.testing.assert_array_equal(parts[1], np.arange(5.0) + 10)
+        assert stats.channels["t"]["logical"] == 5 * 8 * 2 * 2
+        assert _leaked_segments() == []
+
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_allreduce_ndarray_matches_rank_ordered_sum(self, use_shm):
+        def fn(comm):
+            arr = np.arange(6, dtype=np.float64) * (comm.Get_rank() + 1)
+            return comm.allreduce_ndarray(arr, channel="g")
+
+        results, _ = run_spmd_processes(3, fn, use_shm=use_shm,
+                                        shm_threshold=0)
+        expected = np.arange(6, dtype=np.float64) * 6
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+        assert _leaked_segments() == []
+
+    def test_shm_and_pipe_paths_bit_identical(self):
+        def fn(comm):
+            arr = (np.arange(100, dtype=np.float64) + 1) / (comm.Get_rank() + 3)
+            gathered = comm.allgather_ndarray(arr)
+            reduced = comm.allreduce_ndarray(arr)
+            return np.concatenate(gathered + [reduced])
+
+        via_shm, _ = run_spmd_processes(2, fn, use_shm=True, shm_threshold=0)
+        via_pipe, _ = run_spmd_processes(2, fn, use_shm=False)
+        via_threads, _ = run_spmd(2, fn)
+        for a, b, c in zip(via_shm, via_pipe, via_threads):
+            np.testing.assert_array_equal(a, b)
+            np.testing.assert_array_equal(a, c)
+
+    def test_allgather_blob_accounts_logical_vs_wire(self):
+        def fn(comm):
+            blob = bytes([comm.Get_rank()]) * 10
+            out = comm.allgather_blob(blob, logical_bytes=100, channel="z")
+            return out
+
+        results, stats = run_spmd_processes(2, fn)
+        assert results[0] == [b"\x00" * 10, b"\x01" * 10]
+        assert stats.channels["z"]["logical"] == 100 * 2 * 2
+        assert stats.channels["z"]["wire"] == 10 * 2 * 2
+
+
+class TestShmCleanup:
+    def test_crash_mid_collective_leaks_no_segments(self):
+        """A rank dying after posting a segment must not leak /dev/shm."""
+
+        def fn(comm):
+            big = np.ones(70_000, dtype=np.float64) * comm.Get_rank()
+            if comm.Get_rank() == 1:
+                comm._post_segment(big)  # segment exists, collective never completes
+                os._exit(1)
+            comm.allgather_ndarray(big)
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd_processes(2, fn, timeout=120, use_shm=True)
+        assert _leaked_segments() == []
+
+    def test_abort_poisons_stragglers_without_hanging(self):
+        """When one rank dies, surviving ranks get an abort, not a hang."""
+
+        def fn(comm):
+            if comm.Get_rank() == 0:
+                os._exit(1)
+            comm.allreduce_ndarray(np.ones(100_000))  # must not block forever
+            return None
+
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="rank 0"):
+            run_spmd_processes(2, fn, timeout=120, use_shm=True)
+        assert time.perf_counter() - t0 < 60
+        assert _leaked_segments() == []
+
+    def test_clean_run_unlinks_every_segment(self):
+        def fn(comm):
+            for _ in range(3):
+                comm.allgather_ndarray(np.ones(70_000))
+                comm.allreduce_ndarray(np.ones(70_000))
+            return None
+
+        run_spmd_processes(2, fn, use_shm=True)
+        assert _leaked_segments() == []
 
 
 class TestProcessSemantics:

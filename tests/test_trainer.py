@@ -157,4 +157,8 @@ class TestTrainReportSerialization:
             "energy", "best_energy", "iterations", "wall_time",
             "stopped_early", "extrapolated_energy", "v_score",
             "error_vs_reference", "correlation_fraction",
+            "comm_bytes_logical", "comm_bytes_wire",
         }
+        # Serial training: no communicating iterations, so no comm volume.
+        assert data["comm_bytes_logical"] is None
+        assert data["comm_bytes_wire"] is None
