@@ -10,6 +10,8 @@ Subcommands:
 * ``serve``   — serve a completed run's published snapshots and answer
   ``log_amplitudes`` requests; always self-checks the service against
   direct evaluation of the loaded snapshot.
+* ``rendezvous`` — run the cluster rendezvous coordinator for one
+  multi-host job (``parallel.backend=cluster`` members dial it).
 
 Every subcommand is importable (``repro.api.cli.main``) and returns an exit
 code, so tests drive it in-process and CI drives it as a subprocess.
@@ -71,6 +73,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for the random request bitstrings")
     p_serve.add_argument("--version", type=int, default=None,
                          help="pin a published snapshot version (default: latest)")
+
+    p_rdv = sub.add_parser(
+        "rendezvous",
+        help="run the cluster rendezvous coordinator for one job")
+    p_rdv.add_argument("--port", type=int, required=True,
+                       help="TCP port to listen on (0 picks a free port)")
+    p_rdv.add_argument("--host", default="0.0.0.0",
+                       help="interface to bind (default: all)")
+    p_rdv.add_argument("--world-size", type=int, required=True,
+                       help="number of ranks in the job")
+    p_rdv.add_argument("--join-timeout", type=float, default=60.0,
+                       help="seconds to wait for all ranks to join")
+    p_rdv.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       help="seconds between member heartbeats")
+    p_rdv.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       help="seconds without a heartbeat before a rank is "
+                            "declared dead")
     return parser
 
 
@@ -225,6 +244,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rendezvous(args: argparse.Namespace) -> int:
+    """Supervise one cluster job: assign ranks, watch heartbeats, exit with
+    0 on a clean completion and 1 when the job aborted."""
+    from repro.parallel.rendezvous import RendezvousCoordinator
+
+    coord = RendezvousCoordinator(
+        world_size=args.world_size, host=args.host, port=args.port,
+        join_timeout=args.join_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    host, port = coord.start()
+    print(f"rendezvous listening on {host}:{port} "
+          f"(world_size={args.world_size})", flush=True)
+    try:
+        outcome = coord.wait()
+    except KeyboardInterrupt:
+        outcome = "aborted: interrupted"
+    finally:
+        coord.stop()
+    print(f"rendezvous finished: {outcome}", flush=True)
+    return 0 if outcome == "completed" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -237,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "rendezvous":
+            return _cmd_rendezvous(args)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -186,17 +186,38 @@ def materialize_backend(spec: RunSpec):
     """Build the execution backend named by the spec's ``parallel`` section.
 
     A parallel backend (anything that communicates: ``threads`` / ``process``
-    or any ``n_ranks > 1``) rides the canonical Trainer path, so it requires
-    the ``adamw`` optimizer and the default BAS sampler — both restrictions
-    fail here, at materialization, with the spec field named.
+    / ``cluster`` or any ``n_ranks > 1``) rides the canonical Trainer path,
+    so it requires the ``adamw`` optimizer and the default BAS sampler — both
+    restrictions fail here, at materialization, with the spec field named.
+    An unknown backend name raises the registry's
+    :class:`~repro.api.registry.UnknownComponentError`, which lists every
+    registered backend.
     """
     p = spec.parallel
-    try:
-        backend = BACKENDS.build(
-            p.backend, p.n_ranks, nu_star_per_rank=p.nu_star_per_rank,
-            eloc_partition=p.eloc_partition,
-            comm_codec=p.comm_codec, comm_shm=p.comm_shm,
+    n_ranks = p.n_ranks
+    kwargs = {
+        "nu_star_per_rank": p.nu_star_per_rank,
+        "eloc_partition": p.eloc_partition,
+        "comm_codec": p.comm_codec,
+        "comm_shm": p.comm_shm,
+    }
+    if p.backend == "process":
+        # The coordinator's read + worker-join timeouts, previously
+        # hard-coded inside run_spmd_processes.
+        kwargs["timeout"] = float(p.collective_timeout_s)
+        kwargs["join_timeout"] = float(p.join_timeout_s)
+    elif p.backend == "cluster":
+        # One SPMD member: world_size names the job size (n_ranks is its
+        # alias when world_size is unset), rank optionally pins this member.
+        n_ranks = p.world_size if p.world_size is not None else p.n_ranks
+        kwargs.update(
+            rendezvous_addr=p.rendezvous_addr,
+            rank=p.rank,
+            join_timeout=float(p.join_timeout_s),
+            collective_timeout=float(p.collective_timeout_s),
         )
+    try:
+        backend = BACKENDS.build(p.backend, n_ranks, **kwargs)
     except ValueError as exc:  # e.g. serial with n_ranks > 1
         raise SpecError(f"parallel: {exc}") from None
     if isinstance(backend, SerialBackend):
@@ -206,13 +227,21 @@ def materialize_backend(spec: RunSpec):
             f"parallel.backend={p.backend!r} runs the Trainer path, which "
             f"requires optimizer.name='adamw'; got {spec.optimizer.name!r}"
         )
-    if p.n_ranks > 1 and (spec.sampling.sampler != "bas" or spec.sampling.params):
+    if backend.n_ranks > 1 and (spec.sampling.sampler != "bas"
+                                or spec.sampling.params):
         raise SpecError(
-            "parallel.n_ranks > 1 requires the default 'bas' sampler with no "
-            f"params (the Fig. 5 prefix-sweep split); got "
+            "parallel runs with more than one rank require the default 'bas' "
+            "sampler with no params (the Fig. 5 prefix-sweep split); got "
             f"sampling.sampler={spec.sampling.sampler!r}"
         )
     return backend
+
+
+def _close_backend(backend) -> None:
+    """Release backend-held resources (sockets, rendezvous membership)."""
+    close = getattr(backend, "close", None)
+    if callable(close):
+        close()
 
 
 def _resolve_reference(spec: RunSpec, problem: MolecularProblem) -> float | None:
@@ -304,13 +333,20 @@ def run(spec: RunSpec | dict, run_dir: str | Path | None = None,
     e_ref = _resolve_reference(spec, problem)
     spec.save(target / SPEC_FILE)
 
-    if spec.optimizer.name == "adamw":
-        OPTIMIZERS.get("adamw")  # name must be registered like any other
-        trainer = _build_trainer(spec, target, problem, wf, sampler, backend,
-                                 e_ref)
-        report = trainer.train(on_iteration=_publisher(spec, target, wf))
-    else:
-        report = _run_step_protocol(spec, target, problem, wf, sampler, e_ref)
+    try:
+        if spec.optimizer.name == "adamw":
+            OPTIMIZERS.get("adamw")  # name must be registered like any other
+            trainer = _build_trainer(spec, target, problem, wf, sampler,
+                                     backend, e_ref)
+            report = trainer.train(on_iteration=_publisher(spec, target, wf))
+        else:
+            report = _run_step_protocol(spec, target, problem, wf, sampler,
+                                        e_ref)
+    finally:
+        # Backends holding live resources (the cluster backend's sockets and
+        # rendezvous membership) release them even when training raises, so
+        # a poisoned run neither hangs its peers nor leaks sockets.
+        _close_backend(backend)
 
     _write_report(target, report)
     version = _publish_final(spec, target, wf, report)
@@ -489,9 +525,12 @@ def resume(run_dir: str | Path,
     e_ref = _resolve_reference(spec, problem)
     trainer = _build_trainer(spec, run_dir, problem, wf, sampler, backend,
                              e_ref)
-    trainer.resume(ckpt)
-    start_iteration = trainer.vmc.iteration
-    report = trainer.train(on_iteration=_publisher(spec, run_dir, wf))
+    try:
+        trainer.resume(ckpt)
+        start_iteration = trainer.vmc.iteration
+        report = trainer.train(on_iteration=_publisher(spec, run_dir, wf))
+    finally:
+        _close_backend(backend)
     _write_report(run_dir, report)
     if report.iterations > start_iteration:
         version = _publish_final(spec, run_dir, wf, report)

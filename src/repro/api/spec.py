@@ -230,15 +230,24 @@ class ParallelSpec(_Spec):
     """Execution backend choice — the Fig. 4 data-parallel iteration as data.
 
     ``backend`` names a registered execution backend (``serial`` /
-    ``threads`` / ``process``); ``n_ranks`` and ``nu_star_per_rank`` map to
-    the paper's N_p and N_u^*/N_p; ``eloc_partition`` selects the Sec. 3.3
-    weight-balanced local-energy chunking (or ``contiguous`` for the naive
-    1/N_p split); the chunking/budget knobs feed the vectorized kernel.
+    ``threads`` / ``process`` / ``cluster``); ``n_ranks`` and
+    ``nu_star_per_rank`` map to the paper's N_p and N_u^*/N_p;
+    ``eloc_partition`` selects the Sec. 3.3 weight-balanced local-energy
+    chunking (or ``contiguous`` for the naive 1/N_p split); the
+    chunking/budget knobs feed the vectorized kernel.
 
     ``comm_codec`` toggles the stage-2 delta/varint compression and
     ``comm_shm`` the process backend's shared-memory transport (see
     DESIGN.md "Communication layer"); both default on and are bit-identical
     either way — they only change what crosses the wire.
+
+    The cluster fields describe one SPMD member of a multi-host job:
+    ``rendezvous_addr`` is the ``host:port`` of the ``python -m repro
+    rendezvous`` coordinator, ``rank`` optionally pins this member's rank,
+    and ``world_size`` may spell out the job size explicitly (it must agree
+    with ``n_ranks`` when both are set).  ``join_timeout_s`` bounds the
+    rendezvous/mesh construction and ``collective_timeout_s`` bounds each
+    collective (also the process backend's coordinator read timeout).
     """
 
     _SECTION = "parallel"
@@ -252,12 +261,49 @@ class ParallelSpec(_Spec):
     eloc_memory_budget_mb: float | None = None
     comm_codec: bool = True
     comm_shm: bool = True
+    rendezvous_addr: str | None = None
+    rank: int | None = None
+    world_size: int | None = None
+    join_timeout_s: float = 60.0
+    collective_timeout_s: float = 600.0
 
     def __post_init__(self) -> None:
         _require(isinstance(self.backend, str) and bool(self.backend),
                  "parallel.backend", "must be a registered backend name")
         _require(isinstance(self.n_ranks, int) and self.n_ranks > 0,
                  "parallel.n_ranks", f"must be a positive int, got {self.n_ranks!r}")
+        if self.rendezvous_addr is not None:
+            ok = isinstance(self.rendezvous_addr, str)
+            if ok:
+                host, sep, port = self.rendezvous_addr.rpartition(":")
+                ok = bool(sep) and bool(host) and port.isdigit() \
+                    and 0 < int(port) < 65536
+            _require(ok, "parallel.rendezvous_addr",
+                     f"must be host:port, got {self.rendezvous_addr!r}")
+        _require(self.world_size is None
+                 or (isinstance(self.world_size, int) and self.world_size > 0),
+                 "parallel.world_size",
+                 f"must be None or a positive int, got {self.world_size!r}")
+        if self.world_size is not None and self.n_ranks != 1 \
+                and self.n_ranks != self.world_size:
+            raise SpecError(
+                f"parallel.world_size: {self.world_size} conflicts with "
+                f"parallel.n_ranks={self.n_ranks}; set one of them (or both "
+                "equal)"
+            )
+        _require(self.rank is None
+                 or (isinstance(self.rank, int) and self.rank >= 0),
+                 "parallel.rank",
+                 f"must be None or a non-negative int, got {self.rank!r}")
+        if self.rank is not None:
+            world = self.world_size if self.world_size is not None \
+                else self.n_ranks
+            _require(self.rank < world, "parallel.rank",
+                     f"must be < the world size ({world}), got {self.rank}")
+        for attr in ("join_timeout_s", "collective_timeout_s"):
+            v = getattr(self, attr)
+            _require(isinstance(v, (int, float)) and v > 0,
+                     f"parallel.{attr}", f"must be positive, got {v!r}")
         _require(isinstance(self.nu_star_per_rank, int) and self.nu_star_per_rank > 0,
                  "parallel.nu_star_per_rank",
                  f"must be a positive int, got {self.nu_star_per_rank!r}")

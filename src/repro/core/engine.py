@@ -518,10 +518,14 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
         "n_samples": int(n_samples),
         "times": times,
     }
-    if rank == 0 and size > 1 and codec:
+    spmd = bool(getattr(engine.backend, "spmd", False))
+    if size > 1 and codec and (rank == 0 or spmd):
         # Next iteration's diff baseline: the global unique set in canonical
-        # (lexsorted) order.  Only rank 0's copy survives execute(); every
-        # rank rebuilds the identical array, so shipping one is enough.
+        # (lexsorted) order.  On the thread/process backends only rank 0's
+        # copy survives execute() (every rank rebuilds the identical array,
+        # so shipping one is enough); on SPMD backends (cluster) each rank
+        # is a separate host-resident engine and must retain its own copy to
+        # decode peers' delta-encoded payloads next iteration.
         out["global_keys"] = keys
     return out
 
@@ -684,12 +688,14 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(self, n_ranks: int, nu_star_per_rank: int = 64,
                  eloc_partition: str = "balanced", timeout: float = 600.0,
-                 comm_codec: bool = True, comm_shm: bool = True):
+                 comm_codec: bool = True, comm_shm: bool = True,
+                 join_timeout: float = 10.0):
         _validate_rank_args(n_ranks, eloc_partition)
         self.n_ranks = n_ranks
         self.nu_star_per_rank = nu_star_per_rank
         self.eloc_partition = eloc_partition
         self.timeout = timeout
+        self.join_timeout = join_timeout
         self.comm_codec = bool(comm_codec)
         self.comm_shm = bool(comm_shm)
         self.last_comm_stats = None
@@ -716,7 +722,8 @@ class ProcessBackend(ExecutionBackend):
 
         results, stats = run_spmd_processes(self.n_ranks, rank_fn,
                                             timeout=self.timeout,
-                                            use_shm=self.comm_shm)
+                                            use_shm=self.comm_shm,
+                                            join_timeout=self.join_timeout)
         self.last_comm_stats = stats
         state = results[0].pop("rng_state", None)
         if state is not None:

@@ -34,7 +34,53 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["CommStats", "FakeComm", "run_spmd"]
+__all__ = [
+    "CommAbortError",
+    "CommStats",
+    "FakeComm",
+    "dead_rank_message",
+    "poison_survivors",
+    "run_spmd",
+]
+
+
+class CommAbortError(RuntimeError):
+    """A collective was poisoned because a rank died (or desynchronized).
+
+    Raised with the same message on *every* survivor, naming the dead rank —
+    the shared crash semantics of :class:`~repro.parallel.multiprocess.
+    ProcessComm` and :class:`~repro.parallel.cluster.ClusterComm`.  Subclasses
+    ``RuntimeError`` so pre-existing ``except RuntimeError`` callers keep
+    working.
+    """
+
+    def __init__(self, message: str, dead_rank: int | None = None):
+        super().__init__(message)
+        self.dead_rank = dead_rank
+
+
+def dead_rank_message(dead_ranks, reason: str) -> str:
+    """The canonical poison message: which rank(s) died, and why."""
+    ranks = sorted(set(int(r) for r in dead_ranks))
+    label = f"rank {ranks[0]}" if len(ranks) == 1 else (
+        "ranks " + ", ".join(str(r) for r in ranks)
+    )
+    return f"{label} left the collective: {reason}"
+
+
+def poison_survivors(live_ranks, send_abort, message: str) -> None:
+    """Deliver an abort poison to every live rank, swallowing send failures.
+
+    ``send_abort(rank, message)`` is the transport-specific delivery (a pipe
+    send for the process coordinator, an abort control frame for the
+    rendezvous coordinator); a rank whose channel is already gone is simply
+    skipped — it is dead or dying anyway.
+    """
+    for rank in live_ranks:
+        try:
+            send_abort(rank, message)
+        except (OSError, BrokenPipeError, EOFError):
+            pass
 
 
 @dataclass

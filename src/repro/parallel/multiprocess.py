@@ -41,7 +41,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.parallel.fake_mpi import CommStats, _payload_bytes
+from repro.parallel.fake_mpi import (
+    CommAbortError,
+    CommStats,
+    _payload_bytes,
+    dead_rank_message,
+    poison_survivors,
+)
 
 __all__ = ["ProcessComm", "run_spmd_processes", "ServiceClient", "run_service_clients"]
 
@@ -133,11 +139,11 @@ class ProcessComm:
         try:
             status, value = self._conn.recv()
         except EOFError:
-            raise RuntimeError(
+            raise CommAbortError(
                 f"rank {self._rank}: communicator closed mid-collective"
             ) from None
         if status == "abort":
-            raise RuntimeError(f"collective aborted: {value}")
+            raise CommAbortError(f"collective aborted: {value}")
         return value
 
     def _shm_wanted(self, nbytes: int) -> bool:
@@ -256,13 +262,18 @@ def _accumulate_rank_ordered(out: np.ndarray, views: list) -> None:
 
 
 def _abort_ranks(parent_conns, live, message: str) -> None:
-    """Poison every live rank so it fails fast instead of hanging in recv."""
-    for r, conn in enumerate(parent_conns):
-        if live[r]:
-            try:
-                conn.send(("abort", message))
-            except (OSError, BrokenPipeError):  # pragma: no cover
-                pass
+    """Poison every live rank so it fails fast instead of hanging in recv.
+
+    Delivery goes through the shared :func:`~repro.parallel.fake_mpi.
+    poison_survivors` idiom — the same one the rendezvous coordinator uses —
+    so both process and cluster ranks die with an identical
+    :class:`~repro.parallel.fake_mpi.CommAbortError` surface.
+    """
+    poison_survivors(
+        [r for r in range(len(parent_conns)) if live[r]],
+        lambda r, msg: parent_conns[r].send(("abort", msg)),
+        message,
+    )
 
 
 def _coordinator(parent_conns, stats: CommStats, stop_flag,
@@ -282,6 +293,7 @@ def _coordinator(parent_conns, stats: CommStats, stop_flag,
         while not stop_flag[0] and any(live):
             requests = [None] * size
             got = 0
+            died_now: list[int] = []
             for r, conn in enumerate(parent_conns):
                 if not live[r]:
                     continue
@@ -290,15 +302,22 @@ def _coordinator(parent_conns, stats: CommStats, stop_flag,
                     got += 1
                 except EOFError:
                     live[r] = False
+                    died_now.append(r)
             # Every live rank has moved past the previous collective, so its
             # segments have been read everywhere: safe to unlink them now.
             _unlink_segments(pending_unlink, shm_registry)
             pending_unlink = []
             if got == 0:
+                # Every remaining rank closed its pipe — the normal end of a
+                # run (or the tail of an abort); nothing left to serve.
                 return
-            if got != sum(live):
+            if died_now:
+                # A rank died while its peers posted a collective: serving it
+                # short a participant would return silently-wrong values.
+                # Poison the survivors with the dead rank named instead.
                 _abort_ranks(parent_conns, live,
-                             "ranks issued mismatched collective counts")
+                             dead_rank_message(
+                                 died_now, "connection closed mid-collective"))
                 return
             ops = {req[0] if not isinstance(req[0], tuple) else req[0][0]
                    for req in requests if req is not None}
@@ -427,7 +446,8 @@ def _fork_rank_workers(size: int, body: Callable[[int, object], object]):
     return [c for c, _ in pipes], [c for c, _ in result_pipes], procs
 
 
-def _collect_rank_results(result_conns, procs, timeout: float):
+def _collect_rank_results(result_conns, procs, timeout: float,
+                          join_timeout: float = 10.0):
     """Gather per-rank results, then join/terminate; returns (results, error)."""
     results: list = [None] * len(procs)
     error: str | None = None
@@ -447,7 +467,7 @@ def _collect_rank_results(result_conns, procs, timeout: float):
         else:
             error = error or f"rank {r}: timed out after {timeout}s"
     for p in procs:
-        p.join(timeout=10)
+        p.join(timeout=join_timeout)
         if p.is_alive():  # pragma: no cover - cleanup path
             p.terminate()
     return results, error
@@ -456,6 +476,7 @@ def _collect_rank_results(result_conns, procs, timeout: float):
 def run_spmd_processes(
     size: int, fn: Callable[[ProcessComm], object], timeout: float = 600.0,
     *, use_shm: bool = True, shm_threshold: int = _DEFAULT_SHM_THRESHOLD,
+    join_timeout: float = 10.0,
 ) -> tuple[list, CommStats]:
     """Run ``fn(comm)`` as ``size`` forked processes; returns (results, stats).
 
@@ -490,10 +511,11 @@ def run_spmd_processes(
     coord.start()
 
     try:
-        results, error = _collect_rank_results(result_conns, procs, timeout)
+        results, error = _collect_rank_results(result_conns, procs, timeout,
+                                               join_timeout=join_timeout)
     finally:
         stop_flag[0] = True
-        coord.join(timeout=10)
+        coord.join(timeout=max(join_timeout, 10.0))
         if use_shm:
             _unlink_segments(list(shm_registry), shm_registry)
             _unlink_stray_segments(shm_prefix)

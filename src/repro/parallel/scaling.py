@@ -56,34 +56,48 @@ def measure_scaling(
     ``wf_factory()`` must return a *fresh identically-seeded* wavefunction so
     every rank count optimizes the same model; ``n_samples_for(n_ranks)``
     fixes the workload (constant for strong scaling, proportional for weak).
-    Iterations run on the unified engine's :class:`ThreadBackend` (default)
-    or :class:`ProcessBackend` (``backend="process"``); ``eloc_partition``
-    selects the Sec. 3.3 weight-balanced chunking (default) or the naive
-    contiguous split for comparison; ``comm_codec`` / ``comm_shm`` toggle the
-    typed/compressed comm layer for before/after bench comparisons.
+    Iterations run on the unified engine's :class:`ThreadBackend` (default),
+    :class:`ProcessBackend` (``backend="process"``) or the SPMD cluster
+    transport over localhost TCP (``backend="cluster"``: one full driver per
+    rank in a thread, meeting inside the socket collectives — rank 0's stats
+    speak for the world since SPMD trajectories are identical);
+    ``eloc_partition`` selects the Sec. 3.3 weight-balanced chunking
+    (default) or the naive contiguous split for comparison; ``comm_codec`` /
+    ``comm_shm`` toggle the typed/compressed comm layer for before/after
+    bench comparisons.
     """
-    if backend not in ("threads", "process"):
+    if backend not in ("threads", "process", "cluster"):
         raise ValueError(
-            f"measure_scaling backend must be 'threads' or 'process', "
-            f"got {backend!r}"
+            f"measure_scaling backend must be 'threads', 'process' or "
+            f"'cluster', got {backend!r}"
         )
     points = []
     for n_ranks in rank_counts:
-        wf: NNQSWavefunction = wf_factory()
         cfg = config or VMCConfig(eloc_mode="sample_aware")
         cfg.n_samples = n_samples_for(n_ranks)
-        backend_cls = ThreadBackend if backend == "threads" else ProcessBackend
-        driver = VMC(
-            wf, comp, cfg,
-            backend=backend_cls(
-                n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
-                eloc_partition=eloc_partition,
-                comm_codec=comm_codec, comm_shm=comm_shm,
-            ),
-        )
-        for _ in range(warmup_iters):
-            driver.step()
-        stats = [driver.step() for _ in range(n_iters)]
+        if backend == "cluster":
+            stats = _cluster_iteration_stats(
+                wf_factory, comp, cfg, n_ranks,
+                nu_star_per_rank=nu_star_per_rank,
+                eloc_partition=eloc_partition, comm_codec=comm_codec,
+                comm_shm=comm_shm, n_iters=n_iters,
+                warmup_iters=warmup_iters,
+            )
+        else:
+            wf: NNQSWavefunction = wf_factory()
+            backend_cls = (ThreadBackend if backend == "threads"
+                           else ProcessBackend)
+            driver = VMC(
+                wf, comp, cfg,
+                backend=backend_cls(
+                    n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
+                    eloc_partition=eloc_partition,
+                    comm_codec=comm_codec, comm_shm=comm_shm,
+                ),
+            )
+            for _ in range(warmup_iters):
+                driver.step()
+            stats = [driver.step() for _ in range(n_iters)]
         points.append(
             ScalingPoint(
                 n_ranks=n_ranks,
@@ -99,6 +113,66 @@ def measure_scaling(
             )
         )
     return points
+
+
+def _cluster_iteration_stats(wf_factory, comp, cfg, n_ranks, *,
+                             nu_star_per_rank, eloc_partition, comm_codec,
+                             comm_shm, n_iters, warmup_iters):
+    """Run ``n_ranks`` SPMD cluster ranks as localhost threads and return
+    rank 0's per-iteration stats.
+
+    Each thread plays one host: it rendezvouses with an in-process
+    coordinator, builds the TCP mesh, and drives a *full* VMC — exactly the
+    multi-host deployment, minus the physical network.  SPMD determinism
+    makes every rank's trajectory identical, so rank 0 speaks for the world.
+    """
+    import threading
+
+    from repro.parallel.cluster import ClusterBackend, ClusterComm
+    from repro.parallel.rendezvous import RendezvousCoordinator
+
+    coord = RendezvousCoordinator(world_size=n_ranks)
+    host, port = coord.start()
+    addr = f"{host}:{port}"
+    per_rank: list = [None] * n_ranks
+    failures: list = []
+
+    def run_rank(rank: int) -> None:
+        comm = None
+        try:
+            comm = ClusterComm(n_ranks, addr, rank=rank)
+            driver = VMC(
+                wf_factory(), comp, cfg,
+                backend=ClusterBackend(
+                    n_ranks=n_ranks, nu_star_per_rank=nu_star_per_rank,
+                    eloc_partition=eloc_partition, comm_codec=comm_codec,
+                    comm_shm=comm_shm, comm=comm,
+                ),
+            )
+            for _ in range(warmup_iters):
+                driver.step()
+            per_rank[rank] = [driver.step() for _ in range(n_iters)]
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            failures.append((rank, exc))
+        finally:
+            if comm is not None:
+                comm.close()
+
+    threads = [
+        threading.Thread(target=run_rank, args=(r,), daemon=True)
+        for r in range(n_ranks)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        coord.stop()
+    if failures:
+        rank, exc = failures[0]
+        raise RuntimeError(f"cluster rank {rank} failed: {exc!r}") from exc
+    return per_rank[0]
 
 
 def parallel_efficiency(points: list[ScalingPoint], mode: str = "strong") -> list[float]:

@@ -6,7 +6,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.parallel import run_spmd, run_spmd_processes
+from repro.parallel import CommAbortError, run_spmd, run_spmd_processes
 
 # Process spawning is slow (and barrier-timeout recovery takes minutes on
 # constrained runners), so the whole module sits behind the slow marker.
@@ -181,6 +181,28 @@ class TestProcessSemantics:
         results, _ = run_spmd_processes(3, fn)
         assert results == [1, 1, 1]
         assert shared["value"] == 0  # parent copy untouched
+
+    def test_poison_surfaces_as_comm_abort_error(self, tmp_path):
+        """Survivors observe the poison as CommAbortError naming the dead
+        rank — the abort surface shared with the cluster transport."""
+        marker = tmp_path / "survivor.txt"
+
+        def fn(comm):
+            if comm.Get_rank() == 1:
+                raise ValueError("boom")
+            try:
+                comm.barrier()
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                marker.write_text(f"{type(exc).__name__}:{exc}")
+                raise
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd_processes(2, fn, timeout=120)
+        name, _, message = marker.read_text().partition(":")
+        assert name == "CommAbortError"
+        assert isinstance(CommAbortError(""), RuntimeError)
+        assert "rank 1" in message
 
     def test_exception_reraised_with_rank(self):
         def fn(comm):
