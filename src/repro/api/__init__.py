@@ -26,6 +26,7 @@ from repro.api.spec import (
     ProblemSpec,
     RunSpec,
     SamplingSpec,
+    ServeSpec,
     SpecError,
     TrainSpec,
     apply_overrides,
@@ -68,6 +69,7 @@ __all__ = [
     "ParallelSpec",
     "TrainSpec",
     "OutputSpec",
+    "ServeSpec",
     "RunSpec",
     "apply_overrides",
     "coerce_override_value",

@@ -548,7 +548,9 @@ def serve_run(run_dir: str | Path, config=None):
     """A :class:`~repro.serve.WavefunctionService` over a run's snapshots.
 
     Loads the run's model registry and rebuilds its Hamiltonian, so all
-    request types (including ``local_energy``) work.  The service is
+    request types (including ``local_energy``) work.  ``config=None`` takes
+    the batcher/cache knobs from the run's own ``serve`` spec section (the
+    ``--set serve.*`` overrides recorded in ``spec.json``).  The service is
     returned unstarted — use it as a context manager or call ``start()``.
     """
     from repro.serve import WavefunctionService
@@ -558,6 +560,8 @@ def serve_run(run_dir: str | Path, config=None):
     if not spec_path.exists():
         raise SpecError(f"{run_dir} has no {SPEC_FILE}; not a run directory")
     spec = RunSpec.load(spec_path)
+    if config is None:
+        config = spec.serve.to_serve_config()
     registry = ModelRegistry(run_dir / MODELS_DIR)
     if registry.latest_version() is None:
         raise SpecError(

@@ -35,6 +35,7 @@ __all__ = [
     "ParallelSpec",
     "TrainSpec",
     "OutputSpec",
+    "ServeSpec",
     "RunSpec",
     "parse_set_assignment",
     "coerce_override_value",
@@ -385,6 +386,69 @@ class OutputSpec(_Spec):
 
 
 @dataclass
+class ServeSpec(_Spec):
+    """The serving tier as data: batcher knobs + the network topology.
+
+    The first four fields mirror :class:`repro.serve.ServeConfig` (the
+    microbatching/backpressure contract — see DESIGN.md "Serving layer");
+    the rest shape the per-version cache machinery and the network tier
+    behind ``python -m repro serve --port`` (DESIGN.md "Network serving
+    tier").  Everything is overridable via ``--set serve.<field>=...``.
+    """
+
+    _SECTION = "serve"
+
+    max_batch_size: int = 256       # rows fused into one forward pass
+    max_wait_ms: float = 2.0        # straggler-latency budget per batch
+    queue_capacity: int = 1024      # bounded queue => backpressure
+    submit_timeout: float = 30.0    # seconds before overload rejection
+    max_loaded_versions: int = 4    # resident snapshot LRU
+    session_pool_size: int = 4      # idle sessions kept per version
+    prefix_cache_entries: int = 8   # live decoding sessions per version
+    table_max_entries: int = 500_000  # per-version amplitude-table cap
+    workers: int = 2                # network tier: worker processes
+    prefix_anchor: int = 8          # routing key: tokens hashed per prefix
+    hash_replicas: int = 64         # vnodes per worker on the ring
+    refresh_poll_s: float = 2.0     # registry poll period (0: disabled)
+    respawn_backoff_s: float = 0.5  # wait before restarting a dead worker
+    drain_timeout_s: float = 10.0   # graceful-shutdown budget
+
+    def __post_init__(self) -> None:
+        for attr in ("max_batch_size", "queue_capacity", "workers",
+                     "prefix_anchor", "hash_replicas", "max_loaded_versions",
+                     "session_pool_size", "prefix_cache_entries",
+                     "table_max_entries"):
+            v = getattr(self, attr)
+            _require(isinstance(v, int) and v > 0,
+                     f"serve.{attr}", f"must be a positive int, got {v!r}")
+        for attr in ("max_wait_ms", "submit_timeout", "refresh_poll_s",
+                     "respawn_backoff_s"):
+            v = getattr(self, attr)
+            _require(isinstance(v, (int, float)) and v >= 0,
+                     f"serve.{attr}", f"must be >= 0, got {v!r}")
+        _require(isinstance(self.drain_timeout_s, (int, float))
+                 and self.drain_timeout_s > 0,
+                 "serve.drain_timeout_s",
+                 f"must be positive, got {self.drain_timeout_s!r}")
+
+    def to_serve_config(self):
+        """The in-process :class:`repro.serve.ServeConfig` slice of this
+        section (the network-topology fields stay with the router)."""
+        from repro.serve import ServeConfig
+
+        return ServeConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            queue_capacity=self.queue_capacity,
+            submit_timeout=self.submit_timeout,
+            max_loaded_versions=self.max_loaded_versions,
+            session_pool_size=self.session_pool_size,
+            prefix_cache_entries=self.prefix_cache_entries,
+            table_max_entries=self.table_max_entries,
+        )
+
+
+@dataclass
 class RunSpec(_Spec):
     """The full declarative experiment: one spec tree == one reproducible run."""
 
@@ -396,6 +460,7 @@ class RunSpec(_Spec):
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     train: TrainSpec = field(default_factory=TrainSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
 
     def __post_init__(self) -> None:
         _require(isinstance(self.name, str) and bool(self.name),
@@ -439,6 +504,7 @@ _SUBSPEC_TYPES = {
     (RunSpec, "parallel"): ParallelSpec,
     (RunSpec, "train"): TrainSpec,
     (RunSpec, "output"): OutputSpec,
+    (RunSpec, "serve"): ServeSpec,
 }
 
 

@@ -1,0 +1,57 @@
+"""The network serving tier: an HTTP front door over multi-process workers.
+
+``python -m repro serve <run_dir> --port P --workers W`` turns a completed
+run into a socket-facing inference service (see DESIGN.md "Network serving
+tier"):
+
+* a **router** process — a stdlib ``ThreadingHTTPServer`` accepting
+  HTTP/JSON requests, plus a supervisor for ``W`` worker subprocesses;
+* **workers** — each hosts one in-process
+  :class:`~repro.serve.service.WavefunctionService` over the run's shared
+  on-disk :class:`~repro.serve.registry.ModelRegistry`;
+* the router <-> worker hop reuses the cluster transport's framed wire
+  protocol (:mod:`repro.parallel.rendezvous`), so ndarray payloads cross as
+  raw bytes, never base64;
+* requests are routed by a **consistent hash** of their sampling prefix /
+  coalescing key (:mod:`repro.serve.net.hashring`), so the per-worker
+  prefix/session caches and amplitude tables *shard* across workers instead
+  of duplicating;
+* backpressure is end to end: bounded queues at both tiers map
+  :class:`~repro.serve.scheduler.ServiceOverloadedError` to HTTP 429 and
+  dead/closed workers to HTTP 503.
+"""
+from repro.serve.net.hashring import HashRing
+from repro.serve.net.protocol import (
+    ERROR_STATUS,
+    NetProtocolError,
+    pack_arrays,
+    parse_request,
+    parse_response,
+    routing_key,
+    send_error,
+    send_request,
+    send_response,
+    unpack_arrays,
+)
+from repro.serve.net.router import (
+    NetServer,
+    RouterOverloadedError,
+    WorkerUnavailableError,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "HashRing",
+    "NetProtocolError",
+    "NetServer",
+    "RouterOverloadedError",
+    "WorkerUnavailableError",
+    "pack_arrays",
+    "parse_request",
+    "parse_response",
+    "routing_key",
+    "send_error",
+    "send_request",
+    "send_response",
+    "unpack_arrays",
+]

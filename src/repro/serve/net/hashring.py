@@ -1,0 +1,76 @@
+"""Consistent-hash ring: stable request -> worker placement.
+
+Why consistent hashing instead of round-robin or ``hash(key) % W``: the
+whole point of multi-worker serving over the PR 1/PR 2 cache machinery is
+that the per-worker prefix/session caches and amplitude tables **shard**
+rather than duplicate — a worker only ever sees the slice of key space it
+owns, so W workers hold W distinct cache working sets.  That only pays off
+if ownership is *stable*: with ``% W`` the entire mapping reshuffles when a
+worker dies or the pool resizes, and every warmed cache everywhere becomes
+garbage at once.  On a ring, removing a node remaps only the keys that node
+owned (its arc is absorbed by the clockwise neighbors) and adding it back
+restores the original placement exactly — the property the router leans on
+when it keeps a crashed worker's slot in the ring through the respawn
+window.
+
+Each node is placed at ``replicas`` pseudo-random positions (blake2b of
+``"{node}:{i}"``), which evens out arc lengths; lookups hash the key and
+take the first node position clockwise.  Pure data structure, no locking —
+the router serializes mutations behind its own lock.
+"""
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import blake2b
+
+__all__ = ["HashRing"]
+
+
+def _position(data: bytes) -> int:
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Maps arbitrary key bytes to one of the registered node ids."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._positions: list[int] = []   # sorted vnode positions
+        self._owner: dict[int, object] = {}  # position -> node id
+
+    def __len__(self) -> int:
+        return len(set(self._owner.values()))
+
+    def nodes(self) -> set:
+        return set(self._owner.values())
+
+    def add(self, node) -> None:
+        if node in self.nodes():
+            return
+        for i in range(self.replicas):
+            pos = _position(f"{node}:{i}".encode())
+            # Astronomically unlikely 64-bit collision; skip rather than
+            # silently stealing another node's vnode.
+            if pos in self._owner:
+                continue
+            self._owner[pos] = node
+            self._positions.insert(bisect_right(self._positions, pos), pos)
+
+    def remove(self, node) -> None:
+        gone = [pos for pos, owner in self._owner.items() if owner == node]
+        for pos in gone:
+            del self._owner[pos]
+        if gone:
+            dead = set(gone)
+            self._positions = [p for p in self._positions if p not in dead]
+
+    def lookup(self, key: bytes):
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._positions:
+            raise KeyError("hash ring is empty (no live workers)")
+        idx = bisect_right(self._positions, _position(key))
+        if idx == len(self._positions):
+            idx = 0  # wrap past the top of the ring
+        return self._owner[self._positions[idx]]

@@ -1,0 +1,252 @@
+"""Router <-> worker wire protocol + the request routing-key definition.
+
+One hop, one frame.  Every message between the router and a worker is a
+single frame of the cluster transport's framed wire protocol
+(:mod:`repro.parallel.rendezvous`: magic/version/type header + JSON meta +
+raw payload), so ndarray request/response payloads cross the socket as raw
+bytes — no base64 inflation, no pickling.  This module owns what rides *in*
+the frames:
+
+* **multi-array payloads** — a request or response may carry several arrays
+  (``conditional_probs`` sends prefix tokens and two count vectors); the
+  meta lists ``{name, dtype, shape}`` per array in order and the raw payload
+  is their concatenated bytes.  :func:`unpack_arrays` validates dtype,
+  shape, and that the declared sizes tile the payload exactly, raising
+  :class:`NetProtocolError` instead of reconstructing garbage — the same
+  contract as the cluster transport's array frames.
+
+* **the request/response envelope** — requests are ``FRAME_BLOB`` with meta
+  ``{kind: "request", id, op, args, arrays}``; successful responses are
+  ``FRAME_BLOB`` with ``{kind: "response", id, ok: true, result, arrays}``;
+  failures are ``FRAME_CTRL`` with ``{kind: "response", id, ok: false,
+  error: {code, message}}``.  ``id`` multiplexes concurrent requests over
+  one connection; the worker echoes it verbatim.
+
+* **error codes -> HTTP status** — :data:`ERROR_STATUS` is the single place
+  the backpressure contract is spelled out: ``overloaded`` -> 429 (bounded
+  queue full at either tier), ``closed``/``unavailable`` -> 503 (worker
+  draining, dead, or not yet respawned), ``bad-request`` -> 400,
+  ``internal`` -> 500.
+
+* **the routing key** — :func:`routing_key` maps a request to the bytes the
+  consistent-hash ring hashes (see DESIGN.md "Network serving tier" for the
+  full definition and rationale).
+"""
+from __future__ import annotations
+
+import math
+import socket
+
+import numpy as np
+
+from repro.parallel.rendezvous import (
+    FRAME_BLOB,
+    FRAME_CTRL,
+    ClusterProtocolError,
+    send_frame,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "NetProtocolError",
+    "pack_arrays",
+    "parse_request",
+    "parse_response",
+    "routing_key",
+    "send_error",
+    "send_request",
+    "send_response",
+    "unpack_arrays",
+]
+
+
+class NetProtocolError(ClusterProtocolError):
+    """A router<->worker message violates the serving-tier envelope."""
+
+
+# The backpressure contract on one line per failure mode.  429 means "the
+# system is up but full — retry with backoff"; 503 means "the worker that
+# owns this key is draining/dead — retry after the respawn window".
+ERROR_STATUS = {
+    "overloaded": 429,
+    "closed": 503,
+    "unavailable": 503,
+    "bad-request": 400,
+    "internal": 500,
+}
+
+# Ops a worker serves; the router rejects anything else with 404 before a
+# byte crosses the internal socket.
+OPS = ("log_amplitudes", "amplitudes", "sample", "conditional_probs",
+       "local_energy")
+
+
+# ------------------------------------------------------------ array payloads
+def pack_arrays(arrays: dict[str, np.ndarray]) -> tuple[list[dict], bytes]:
+    """``{name: ndarray}`` -> (meta list, concatenated raw bytes)."""
+    metas, chunks = [], []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        metas.append({"name": str(name), "dtype": arr.dtype.str,
+                      "shape": list(arr.shape)})
+        chunks.append(arr.tobytes())
+    return metas, b"".join(chunks)
+
+
+def unpack_arrays(metas: list, raw: bytes) -> dict[str, np.ndarray]:
+    """Validated inverse of :func:`pack_arrays`.
+
+    Raises :class:`NetProtocolError` on malformed metadata, a size mismatch
+    between the declared arrays and the payload, or duplicate names.
+    """
+    if not isinstance(metas, list):
+        raise NetProtocolError(
+            f"arrays meta must be a list, got {type(metas).__name__}"
+        )
+    out: dict[str, np.ndarray] = {}
+    offset = 0
+    for meta in metas:
+        if not isinstance(meta, dict):
+            raise NetProtocolError(f"array meta must be a dict, got {meta!r}")
+        try:
+            name = str(meta["name"])
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(meta["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetProtocolError(f"malformed array meta: {exc!r}") from None
+        if dtype.hasobject:
+            raise NetProtocolError(f"array {name!r} declares an object dtype")
+        if not all(isinstance(d, int) and d >= 0 for d in shape):
+            raise NetProtocolError(f"array {name!r}: malformed shape {shape!r}")
+        if name in out:
+            raise NetProtocolError(f"duplicate array name {name!r}")
+        nbytes = int(math.prod(shape)) * dtype.itemsize
+        if offset + nbytes > len(raw):
+            raise NetProtocolError(
+                f"array {name!r} ({nbytes} bytes at offset {offset}) overruns "
+                f"the {len(raw)}-byte payload"
+            )
+        out[name] = np.frombuffer(
+            raw, dtype=dtype, count=int(math.prod(shape)), offset=offset
+        ).reshape(shape).copy()
+        offset += nbytes
+    if offset != len(raw):
+        raise NetProtocolError(
+            f"declared arrays cover {offset} of {len(raw)} payload bytes"
+        )
+    return out
+
+
+# -------------------------------------------------------------- the envelope
+def send_request(sock: socket.socket, req_id: int, op: str,
+                 args: dict | None = None,
+                 arrays: dict[str, np.ndarray] | None = None) -> int:
+    metas, raw = pack_arrays(arrays or {})
+    meta = {"kind": "request", "id": int(req_id), "op": str(op),
+            "args": args or {}, "arrays": metas}
+    return send_frame(sock, FRAME_BLOB, meta, raw)
+
+
+def send_response(sock: socket.socket, req_id: int,
+                  result: dict | None = None,
+                  arrays: dict[str, np.ndarray] | None = None) -> int:
+    metas, raw = pack_arrays(arrays or {})
+    meta = {"kind": "response", "id": int(req_id), "ok": True,
+            "result": result or {}, "arrays": metas}
+    return send_frame(sock, FRAME_BLOB, meta, raw)
+
+
+def send_error(sock: socket.socket, req_id: int, code: str,
+               message: str) -> int:
+    if code not in ERROR_STATUS:
+        code = "internal"
+    meta = {"kind": "response", "id": int(req_id), "ok": False,
+            "error": {"code": code, "message": str(message)}}
+    return send_frame(sock, FRAME_CTRL, meta)
+
+
+def _require_envelope(meta: dict, kind: str) -> int:
+    if meta.get("kind") != kind:
+        raise NetProtocolError(
+            f"expected a {kind} envelope, got kind={meta.get('kind')!r}"
+        )
+    req_id = meta.get("id")
+    if not isinstance(req_id, int):
+        raise NetProtocolError(f"envelope id must be an int, got {req_id!r}")
+    return req_id
+
+
+def parse_request(ftype: int, meta: dict,
+                  raw: bytes) -> tuple[int, str, dict, dict]:
+    """Validated ``(id, op, args, arrays)`` from one received frame."""
+    if ftype != FRAME_BLOB:
+        raise NetProtocolError(f"requests are blob frames, got type {ftype}")
+    req_id = _require_envelope(meta, "request")
+    op = meta.get("op")
+    if op not in OPS:
+        raise NetProtocolError(f"unknown op {op!r} (valid: {', '.join(OPS)})")
+    args = meta.get("args", {})
+    if not isinstance(args, dict):
+        raise NetProtocolError(f"request args must be a dict, got {args!r}")
+    return req_id, op, args, unpack_arrays(meta.get("arrays", []), raw)
+
+
+def parse_response(ftype: int, meta: dict,
+                   raw: bytes) -> tuple[int, dict | None, dict, dict]:
+    """Validated ``(id, error, result, arrays)``; ``error`` is None when ok.
+
+    A failure response carries ``error = {"code", "message"}`` with the code
+    normalized into :data:`ERROR_STATUS`.
+    """
+    req_id = _require_envelope(meta, "response")
+    if meta.get("ok"):
+        if ftype != FRAME_BLOB:
+            raise NetProtocolError(
+                f"ok responses are blob frames, got type {ftype}"
+            )
+        result = meta.get("result", {})
+        if not isinstance(result, dict):
+            raise NetProtocolError(f"response result must be a dict: {result!r}")
+        return req_id, None, result, unpack_arrays(meta.get("arrays", []), raw)
+    error = meta.get("error")
+    if not isinstance(error, dict) or "code" not in error:
+        raise NetProtocolError(f"malformed error envelope: {error!r}")
+    code = error["code"] if error["code"] in ERROR_STATUS else "internal"
+    return req_id, {"code": code,
+                    "message": str(error.get("message", ""))}, {}, {}
+
+
+# -------------------------------------------------------------- routing keys
+def routing_key(op: str, args: dict, arrays: dict[str, np.ndarray],
+                prefix_anchor: int = 8) -> bytes:
+    """The bytes the consistent-hash ring hashes for one request.
+
+    The key is chosen so state a worker builds while answering a request is
+    *findable* by the requests that can reuse it (see DESIGN.md):
+
+    * ``conditional_probs`` — the first ``prefix_anchor`` tokens of the
+      first prefix row.  A client driving an autoregressive decode extends
+      its prefix one token at a time; hashing only the anchor keeps every
+      extension of one trajectory on the worker holding its live KV-cache
+      session, while distinct trajectories (different openings) shard.
+    * ``sample`` — the request seed: repeats of a seeded sweep return to the
+      same worker's session pool; distinct seeds spread.
+    * ``log_amplitudes`` / ``amplitudes`` / ``local_energy`` — the bytes of
+      the first configuration row: batches over a coherent region of
+      configuration space co-locate (amplitude-table reuse for
+      ``local_energy``) while unrelated batches spread uniformly.
+    """
+    if op == "conditional_probs":
+        prefix = arrays.get("prefix_tokens")
+        if prefix is None or prefix.size == 0:
+            return b"cp:"
+        head = np.ascontiguousarray(prefix.reshape(prefix.shape[0], -1)[0])
+        return b"cp:" + head[: max(int(prefix_anchor), 1)].tobytes()
+    if op == "sample":
+        return b"sd:%d" % int(args.get("seed", 0))
+    bits = arrays.get("bits")
+    if bits is None or bits.size == 0:
+        return b"bt:"
+    return b"bt:" + np.ascontiguousarray(
+        bits.reshape(bits.shape[0], -1)[0]
+    ).tobytes()

@@ -1,0 +1,688 @@
+"""The router: HTTP front door, worker supervisor, consistent-hash dispatch.
+
+:class:`NetServer` is the acceptor/router process behind ``python -m repro
+serve <run_dir> --port P --workers W``.  It owns three jobs:
+
+1. **HTTP front door** — a stdlib ``ThreadingHTTPServer`` speaking JSON:
+   ``POST /v1/{log_amplitudes,amplitudes,sample,conditional_probs,
+   local_energy,refresh}`` and ``GET /v1/{stats,versions,healthz}``.
+   Complex results are encoded as ``[re, im]`` pairs (JSON floats round-trip
+   bit-exactly, so served amplitudes compare bit-identical to direct
+   in-process evaluation).
+
+2. **Worker supervision** — spawns ``W`` worker subprocesses (``python -m
+   repro serve-worker``), each dialing back into the router's internal
+   listener with a ``worker-hello`` frame.  A dead worker's *slot stays in
+   the hash ring* through the respawn window: its keys deterministically
+   answer 503 (retryable) instead of silently migrating to — and colding
+   out on — a neighbor that will lose them again when the respawn lands.
+
+3. **Consistent-hash dispatch** — each request's
+   :func:`~repro.serve.net.protocol.routing_key` is looked up on a
+   :class:`~repro.serve.net.hashring.HashRing` over worker slots, so the
+   per-worker prefix/session caches and amplitude tables shard across
+   workers instead of duplicating.
+
+Backpressure is enforced at both tiers: the worker's bounded MicroBatcher
+queue rejects with ``overloaded`` (HTTP 429), and the router refuses to
+put more than ``queue_capacity + max_batch_size`` requests in flight per
+worker (:class:`RouterOverloadedError`, also 429) so a slow worker's
+backlog is bounded even before frames reach its queue.
+
+Shutdown (``close()``, wired to SIGTERM/SIGINT by the CLI) is a graceful
+drain: stop HTTP intake, snapshot worker stats, send each worker a
+``drain`` control frame — its service answers every accepted request, says
+``worker-bye`` and exits 0 — then write ``serve_stats.json`` into the run
+directory (surfaced by ``python -m repro info``).
+"""
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.parallel.rendezvous import (
+    FRAME_CTRL,
+    ClusterProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.net.hashring import HashRing
+from repro.serve.net.protocol import (
+    ERROR_STATUS,
+    OPS,
+    parse_response,
+    routing_key,
+    send_request,
+)
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["NetServer", "RouterOverloadedError", "WorkerUnavailableError",
+           "SERVE_STATS_FILE"]
+
+SERVE_STATS_FILE = "serve_stats.json"
+
+# Largest accepted HTTP request body; JSON for bigger batches belongs in the
+# framed protocol, not the front door.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class RouterOverloadedError(RuntimeError):
+    """Router-tier backpressure: the owning worker's in-flight cap is full
+    (maps to HTTP 429, like the worker-tier queue-full rejection)."""
+
+
+class WorkerUnavailableError(RuntimeError):
+    """The worker owning this key is down/draining; retry after the respawn
+    window (maps to HTTP 503)."""
+
+
+def _json_array(arr: np.ndarray):
+    """ndarray -> JSON-encodable nested lists; complex as [re, im] pairs."""
+    if np.iscomplexobj(arr):
+        return np.stack([arr.real, arr.imag], axis=-1).tolist()
+    return arr.tolist()
+
+
+class _WorkerHandle:
+    """One live worker connection: request multiplexing + in-flight cap.
+
+    Requests carry a per-connection sequence id; a reader thread resolves
+    the matching future when the response frame arrives, so many HTTP
+    handler threads share one socket without head-of-line coupling.
+    Outcomes are delivered as values — ``("ok", result, arrays)`` or
+    ``("error", {code, message})`` — never exceptions, so worker-reported
+    failures (429/503/400) stay distinct from transport failures.
+    """
+
+    def __init__(self, slot: int, sock: socket.socket, pid: int | None,
+                 inflight_cap: int):
+        self.slot = slot
+        self.sock = sock
+        self.pid = pid
+        self.inflight_cap = max(int(inflight_cap), 1)
+        self.alive = True
+        self.bye = threading.Event()
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._reader = threading.Thread(target=self._read_loop, daemon=True,
+                                        name=f"net-router-reader-{slot}")
+        self._reader.start()
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------- inbound
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                ftype, meta, raw = recv_frame(self.sock)
+                if ftype == FRAME_CTRL and meta.get("kind") == "worker-bye":
+                    self.bye.set()
+                    return
+                req_id, error, result, arrays = parse_response(ftype, meta,
+                                                               raw)
+                with self._lock:
+                    fut = self._pending.pop(req_id, None)
+                if fut is None:
+                    continue  # timed out on our side; answer is stale
+                if error is not None:
+                    fut.set_result(("error", error))
+                else:
+                    fut.set_result(("ok", result, arrays))
+        except (ConnectionError, OSError, ClusterProtocolError):
+            pass  # worker died or spoke garbage: tear the connection down
+        finally:
+            self.alive = False
+            with self._lock:
+                stranded = list(self._pending.values())
+                self._pending.clear()
+            for fut in stranded:
+                if not fut.done():
+                    fut.set_result(("error", {
+                        "code": "unavailable",
+                        "message": f"worker {self.slot} connection lost",
+                    }))
+
+    # ------------------------------------------------------------ outbound
+    def _issue(self) -> tuple[int, Future]:
+        with self._lock:
+            if len(self._pending) >= self.inflight_cap:
+                raise RouterOverloadedError(
+                    f"worker {self.slot} has {len(self._pending)} requests "
+                    f"in flight (cap {self.inflight_cap})"
+                )
+            self._next_id += 1
+            fut: Future = Future()
+            self._pending[self._next_id] = fut
+            return self._next_id, fut
+
+    def _await(self, req_id: int, fut: Future, timeout: float):
+        try:
+            return fut.result(timeout=timeout)
+        except FutureTimeoutError:
+            with self._lock:
+                self._pending.pop(req_id, None)
+            raise WorkerUnavailableError(
+                f"worker {self.slot} did not answer within {timeout}s"
+            ) from None
+
+    def request(self, op: str, args: dict, arrays: dict, timeout: float):
+        if not self.alive:
+            raise WorkerUnavailableError(f"worker {self.slot} is down")
+        req_id, fut = self._issue()
+        try:
+            with self._send_lock:
+                send_request(self.sock, req_id, op, args, arrays)
+        except (OSError, ClusterProtocolError) as exc:
+            with self._lock:
+                self._pending.pop(req_id, None)
+            self.alive = False
+            raise WorkerUnavailableError(
+                f"worker {self.slot} send failed: {exc}"
+            ) from None
+        return self._await(req_id, fut, timeout)
+
+    def ctrl(self, kind: str, timeout: float = 10.0, **fields):
+        """A control round-trip (refresh / stats / ping) on the same id
+        space as requests."""
+        if not self.alive:
+            raise WorkerUnavailableError(f"worker {self.slot} is down")
+        req_id, fut = self._issue()
+        try:
+            with self._send_lock:
+                send_frame(self.sock, FRAME_CTRL,
+                           {"kind": kind, "id": req_id, **fields})
+        except (OSError, ClusterProtocolError) as exc:
+            with self._lock:
+                self._pending.pop(req_id, None)
+            self.alive = False
+            raise WorkerUnavailableError(
+                f"worker {self.slot} send failed: {exc}"
+            ) from None
+        return self._await(req_id, fut, timeout)
+
+    def send_drain(self) -> None:
+        try:
+            with self._send_lock:
+                send_frame(self.sock, FRAME_CTRL, {"kind": "drain"})
+        except (OSError, ClusterProtocolError):
+            pass  # already gone; the supervisor reaps the process
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # The default listen backlog (5) resets connections under bursts the
+    # 429 path is specifically designed to absorb.
+    request_queue_size = 128
+    net: "NetServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr spam
+        pass
+
+    # ------------------------------------------------------------- helpers
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.net.record_status(status)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(status, {"ok": False,
+                                 "error": {"code": code, "message": message}})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > _MAX_BODY_BYTES:
+            raise _BodyTooLarge(length)
+        if length <= 0:
+            return {}
+        body = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self):  # noqa: N802 - stdlib handler API
+        net = self.server.net
+        if self.path == "/v1/healthz":
+            self._send_json(200, {"ok": True, "workers": net.live_workers(),
+                                  "of": net.workers})
+        elif self.path == "/v1/stats":
+            self._send_json(200, {"ok": True, **net.stats()})
+        elif self.path == "/v1/versions":
+            self._send_json(200, {"ok": True, **net.registry_versions()})
+        else:
+            self._send_error_json(404, "bad-request",
+                                  f"unknown path {self.path}")
+
+    def do_POST(self):  # noqa: N802 - stdlib handler API
+        net = self.server.net
+        if not self.path.startswith("/v1/"):
+            self._send_error_json(404, "bad-request",
+                                  f"unknown path {self.path}")
+            return
+        op = self.path[len("/v1/"):]
+        try:
+            if op == "refresh":
+                self._send_json(200, {"ok": True, **net.refresh()})
+                return
+            if op not in OPS:
+                self._send_error_json(
+                    404, "bad-request",
+                    f"unknown op {op!r} (valid: {', '.join(OPS)})")
+                return
+            try:
+                args, arrays = _parse_op_body(op, self._read_body())
+            except _BodyTooLarge as exc:
+                self._send_error_json(
+                    413, "bad-request",
+                    f"{exc.length}-byte body exceeds {_MAX_BODY_BYTES}")
+                return
+            except (KeyError, ValueError, TypeError) as exc:
+                self._send_error_json(400, "bad-request", _bad_body(op, exc))
+                return
+            outcome = net.dispatch(op, args, arrays)
+        except RouterOverloadedError as exc:
+            self._send_error_json(429, "overloaded", str(exc))
+            return
+        except WorkerUnavailableError as exc:
+            self._send_error_json(503, "unavailable", str(exc))
+            return
+        except KeyError as exc:  # empty ring
+            self._send_error_json(503, "unavailable", str(exc))
+            return
+        if outcome[0] == "error":
+            error = outcome[1]
+            self._send_error_json(ERROR_STATUS.get(error["code"], 500),
+                                  error["code"], error["message"])
+            return
+        _, result, arrays = outcome
+        payload = {"ok": True, **result}
+        for name, arr in arrays.items():
+            payload[name] = _json_array(arr)
+        self._send_json(200, payload)
+
+
+class _BodyTooLarge(Exception):
+    def __init__(self, length: int):
+        super().__init__(length)
+        self.length = length
+
+
+def _bad_body(op: str, exc: BaseException) -> str:
+    if isinstance(exc, KeyError):
+        return f"op {op!r} requires field {exc.args[0]!r}"
+    return f"malformed body for op {op!r}: {exc}"
+
+
+def _parse_op_body(op: str, body: dict) -> tuple[dict, dict]:
+    """JSON body -> (args, arrays) for the framed hop; raises on bad input."""
+    args: dict = {}
+    arrays: dict[str, np.ndarray] = {}
+    if body.get("version") is not None:
+        args["version"] = int(body["version"])
+    if op in ("log_amplitudes", "amplitudes"):
+        arrays["bits"] = np.atleast_2d(np.asarray(body["bits"],
+                                                  dtype=np.uint8))
+    elif op == "sample":
+        args["n_samples"] = int(body["n_samples"])
+        args["seed"] = int(body.get("seed", 0))
+    elif op == "conditional_probs":
+        arrays["prefix_tokens"] = np.atleast_2d(
+            np.asarray(body["prefix_tokens"], dtype=np.int64))
+        arrays["counts_up"] = np.asarray(body["counts_up"], dtype=np.int64)
+        arrays["counts_dn"] = np.asarray(body["counts_dn"], dtype=np.int64)
+    elif op == "local_energy":
+        arrays["bits"] = np.atleast_2d(np.asarray(body["bits"],
+                                                  dtype=np.uint8))
+        arrays["weights"] = np.asarray(body["weights"], dtype=np.int64)
+        if body.get("mode") is not None:
+            args["mode"] = str(body["mode"])
+    return args, arrays
+
+
+class NetServer:
+    """Router + supervisor for the multi-worker HTTP serving tier."""
+
+    def __init__(self, run_dir, host: str = "127.0.0.1", port: int = 0,
+                 workers: int | None = None, serve_spec=None,
+                 worker_args: list[str] | None = None,
+                 request_timeout: float = 120.0):
+        if serve_spec is None:
+            from repro.api.spec import ServeSpec
+            serve_spec = ServeSpec()
+        self.run_dir = Path(run_dir)
+        self.spec = serve_spec
+        self.workers = int(workers) if workers is not None \
+            else int(serve_spec.workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.worker_args = list(worker_args or [])
+        self.request_timeout = float(request_timeout)
+        self._inflight_cap = (int(serve_spec.queue_capacity)
+                              + int(serve_spec.max_batch_size))
+
+        self._ring = HashRing(replicas=int(serve_spec.hash_replicas))
+        for slot in range(self.workers):
+            self._ring.add(slot)
+        self._slots: list[_WorkerHandle | None] = [None] * self.workers
+        self._procs: list[subprocess.Popen | None] = [None] * self.workers
+        self._respawn_at: list[float | None] = [None] * self.workers
+        self._lock = threading.RLock()
+        self._closing = False
+        self._closed = False
+        self._restarts = 0
+        self._started_at = time.time()
+
+        self._stats_lock = threading.Lock()
+        self._http_requests = 0
+        self._http_statuses: dict[str, int] = {}
+
+        # Internal listener the workers dial back into (loopback only: the
+        # framed hop is a private channel, not part of the public surface).
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.5)
+        self.internal_port = self._listener.getsockname()[1]
+
+        self._httpd = _Httpd((host, int(port)), _Handler)
+        self._httpd.net = self
+        self.host, self.port = self._httpd.server_address[:2]
+
+        self._threads: list[threading.Thread] = []
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "NetServer":
+        for slot in range(self.workers):
+            self._spawn(slot)
+        for target, name in ((self._accept_loop, "net-accept"),
+                             (self._supervise, "net-supervisor"),
+                             (self._refresh_poll, "net-refresh-poll"),
+                             (self._httpd.serve_forever, "net-http")):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def wait_ready(self, timeout: float = 60.0) -> "NetServer":
+        """Block until every worker slot has dialed in (or raise)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.live_workers() == self.workers:
+                return self
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"only {self.live_workers()}/{self.workers} workers connected "
+            f"within {timeout}s"
+        )
+
+    def _spawn(self, slot: int) -> None:
+        argv = [sys.executable, "-m", "repro", "serve-worker",
+                str(self.run_dir),
+                "--connect", f"127.0.0.1:{self.internal_port}",
+                "--worker-id", str(slot), *self.worker_args]
+        env = os.environ.copy()
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self._procs[slot] = subprocess.Popen(argv, env=env)
+
+    # ------------------------------------------------------- worker intake
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.settimeout(10.0)
+                ftype, meta, _ = recv_frame(conn)
+                if ftype != FRAME_CTRL or meta.get("kind") != "worker-hello":
+                    raise ClusterProtocolError("expected worker-hello")
+                slot = int(meta["worker_id"])
+                if not 0 <= slot < self.workers:
+                    raise ClusterProtocolError(f"bogus worker id {slot}")
+                conn.settimeout(None)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except (ClusterProtocolError, ConnectionError, OSError,
+                    KeyError, ValueError, socket.timeout):
+                conn.close()
+                continue
+            handle = _WorkerHandle(slot, conn, meta.get("pid"),
+                                   self._inflight_cap)
+            with self._lock:
+                old, self._slots[slot] = self._slots[slot], handle
+                self._respawn_at[slot] = None
+            if old is not None:
+                old.close()
+
+    def _supervise(self) -> None:
+        backoff = float(self.spec.respawn_backoff_s)
+        while not self._closing:
+            time.sleep(0.1)
+            now = time.monotonic()
+            for slot in range(self.workers):
+                with self._lock:
+                    handle = self._slots[slot]
+                    if handle is not None and not handle.alive:
+                        self._slots[slot] = None
+                        handle.close()
+                proc = self._procs[slot]
+                if proc is not None and proc.poll() is None:
+                    continue  # process up (running or still dialing in)
+                if self._closing:
+                    return
+                with self._lock:
+                    due = self._respawn_at[slot]
+                    if due is None:
+                        # First sighting of the corpse: reap, start backoff.
+                        self._respawn_at[slot] = now + backoff
+                        continue
+                if now >= due:
+                    with self._lock:
+                        self._respawn_at[slot] = None
+                        self._restarts += 1
+                    self._spawn(slot)
+
+    def _refresh_poll(self) -> None:
+        """Zero-downtime rollover: when the registry publishes a new
+        snapshot, broadcast ``refresh`` so workers pick it up mid-traffic."""
+        period = float(self.spec.refresh_poll_s)
+        if period <= 0:
+            return
+        last = self._latest_registry_version()
+        while not self._closing:
+            time.sleep(period)
+            if self._closing:
+                return
+            latest = self._latest_registry_version()
+            if latest is not None and latest != last:
+                last = latest
+                try:
+                    self.refresh()
+                except Exception:  # noqa: BLE001 - next poll retries
+                    pass
+
+    def _latest_registry_version(self) -> int | None:
+        try:
+            return ModelRegistry(self.run_dir / "models").latest_version()
+        except Exception:  # noqa: BLE001 - registry mid-publish
+            return None
+
+    # ------------------------------------------------------------ dispatch
+    def live_workers(self) -> int:
+        with self._lock:
+            return sum(1 for h in self._slots if h is not None and h.alive)
+
+    def record_status(self, status: int) -> None:
+        with self._stats_lock:
+            self._http_requests += 1
+            key = str(status)
+            self._http_statuses[key] = self._http_statuses.get(key, 0) + 1
+
+    def dispatch(self, op: str, args: dict, arrays: dict):
+        """Route one request to the worker owning its key; returns the
+        worker outcome tuple (see :class:`_WorkerHandle.request`)."""
+        key = routing_key(op, args, arrays,
+                          prefix_anchor=int(self.spec.prefix_anchor))
+        slot = self._ring.lookup(key)
+        with self._lock:
+            handle = self._slots[slot]
+        if handle is None or not handle.alive:
+            raise WorkerUnavailableError(
+                f"worker {slot} (owner of this key) is down; respawn pending"
+            )
+        return handle.request(op, args, arrays, timeout=self.request_timeout)
+
+    # ----------------------------------------------------------- broadcast
+    def _live_handles(self) -> list[_WorkerHandle]:
+        with self._lock:
+            return [h for h in self._slots if h is not None and h.alive]
+
+    def refresh(self) -> dict:
+        """Tell every live worker to re-read the registry; returns the
+        versions they now serve."""
+        versions = {}
+        for handle in self._live_handles():
+            try:
+                outcome = handle.ctrl("refresh")
+            except WorkerUnavailableError:
+                continue
+            if outcome[0] == "ok":
+                versions[str(handle.slot)] = outcome[1].get("version")
+        live = [v for v in versions.values() if v is not None]
+        return {"version": max(live) if live else None,
+                "workers": versions}
+
+    def stats(self) -> dict:
+        per_worker = []
+        for slot in range(self.workers):
+            with self._lock:
+                handle = self._slots[slot]
+                proc = self._procs[slot]
+            entry: dict = {"slot": slot,
+                           "alive": handle is not None and handle.alive,
+                           "pid": proc.pid if proc is not None else None}
+            if handle is not None and handle.alive:
+                entry["inflight"] = handle.inflight()
+                try:
+                    outcome = handle.ctrl("stats")
+                    if outcome[0] == "ok":
+                        entry.update(outcome[1])
+                except WorkerUnavailableError:
+                    entry["alive"] = False
+            per_worker.append(entry)
+        with self._stats_lock:
+            http = {"requests": self._http_requests,
+                    "statuses": dict(self._http_statuses)}
+        return {"workers": self.workers, "live": self.live_workers(),
+                "restarts": self._restarts, "http": http,
+                "per_worker": per_worker,
+                "uptime_s": time.time() - self._started_at}
+
+    def registry_versions(self) -> dict:
+        registry = ModelRegistry(self.run_dir / "models")
+        return {"versions": registry.versions(),
+                "latest": registry.latest_version()}
+
+    # -------------------------------------------------------------- drain
+    def close(self, timeout: float | None = None) -> dict | None:
+        """Graceful drain; returns the final stats written to
+        ``serve_stats.json`` (None when already closed)."""
+        with self._lock:
+            if self._closed:
+                return None
+            self._closed = True
+        if timeout is None:
+            timeout = float(self.spec.drain_timeout_s)
+        deadline = time.monotonic() + max(timeout, 0.1)
+
+        # 1. Stop HTTP intake; give in-flight handler threads a moment to
+        #    finish so the final stats include them.
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        settle_by = min(deadline, time.monotonic() + 2.0)
+        while time.monotonic() < settle_by:
+            if all(h.inflight() == 0 for h in self._live_handles()):
+                break
+            time.sleep(0.05)
+
+        # 2. Snapshot stats while workers can still answer.
+        final_stats = self.stats()
+        final_stats["drained"] = True
+
+        # 3. Drain the workers: every accepted request is answered, then
+        #    each says worker-bye and exits 0.
+        self._closing = True  # stops accept/supervise/poll loops
+        handles = self._live_handles()
+        for handle in handles:
+            handle.send_drain()
+        for handle in handles:
+            handle.bye.wait(timeout=max(deadline - time.monotonic(), 0.0))
+        for slot, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            try:
+                proc.wait(timeout=max(deadline - time.monotonic(), 0.1))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+        # 4. Tear down sockets and record the session.
+        with self._lock:
+            leftovers = [h for h in self._slots if h is not None]
+        for handle in leftovers:
+            handle.close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        final_stats["finished_at"] = time.time()
+        try:
+            stats_path = self.run_dir / SERVE_STATS_FILE
+            stats_path.write_text(json.dumps(final_stats, indent=2,
+                                             default=str))
+        except OSError:
+            pass
+        return final_stats

@@ -1,0 +1,257 @@
+"""One serving worker: a framed-socket loop around a WavefunctionService.
+
+A worker is a separate OS process (spawned by the router as ``python -m
+repro serve-worker``) hosting one in-process
+:class:`~repro.serve.service.WavefunctionService` over the run's shared
+on-disk :class:`~repro.serve.registry.ModelRegistry`.  Worker processes are
+what turn the GIL-bound thread service into real multi-core serving — and
+what make a crash survivable: the router respawns a dead worker without
+touching the others.
+
+Thread topology (three threads, one queue):
+
+* the **main thread** reads frames off the router socket.  Requests are
+  submitted to the service with ``timeout=0.0`` — a full bounded queue
+  rejects *immediately* (an ``overloaded`` error frame the router maps to
+  HTTP 429) instead of blocking the reader, which would wedge every request
+  behind the full one;
+* the **scheduler thread** (inside the service) evaluates microbatches;
+  each request future's done-callback packs the response frame and puts it
+  on the outbound queue;
+* the **writer thread** drains the outbound queue to the socket, keeping
+  serialization off the scheduler thread.
+
+Control frames: ``refresh`` re-reads the registry (zero-downtime version
+rollover; in-flight requests keep the version they resolved at submit
+time), ``stats`` snapshots the service counters, ``drain`` stops the reader
+and closes the service gracefully — every accepted request is answered,
+then a ``worker-bye`` frame is sent and the process exits 0.  A vanished
+router (EOF on the socket) is the emergency path: nobody is left to read
+answers, so the service closes with ``drain=False``.
+"""
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+
+import numpy as np
+
+from repro.core.sampler import SampleBatch
+from repro.parallel.rendezvous import (
+    FRAME_CTRL,
+    ClusterProtocolError,
+    connect_with_retry,
+    parse_addr,
+    recv_frame,
+    send_ctrl,
+)
+from repro.serve.net.protocol import (
+    NetProtocolError,
+    pack_arrays,
+    parse_request,
+)
+from repro.parallel.rendezvous import FRAME_BLOB, build_frame
+from repro.serve.scheduler import ServiceClosedError, ServiceOverloadedError
+
+__all__ = ["run_worker"]
+
+_SENTINEL = object()
+
+
+def _error_code(exc: BaseException) -> str:
+    if isinstance(exc, ServiceOverloadedError):
+        return "overloaded"
+    if isinstance(exc, ServiceClosedError):
+        return "closed"
+    if isinstance(exc, (ValueError, KeyError, TypeError, NetProtocolError)):
+        return "bad-request"
+    return "internal"
+
+
+def _response_frame(req_id: int, result: dict,
+                    arrays: dict[str, np.ndarray]) -> bytes:
+    metas, raw = pack_arrays(arrays)
+    return build_frame(FRAME_BLOB, {"kind": "response", "id": int(req_id),
+                                    "ok": True, "result": result,
+                                    "arrays": metas}, raw)
+
+
+def _error_frame(req_id: int, code: str, message: str) -> bytes:
+    return build_frame(FRAME_CTRL, {"kind": "response", "id": int(req_id),
+                                    "ok": False,
+                                    "error": {"code": code,
+                                              "message": message}})
+
+
+class _Worker:
+    def __init__(self, service, sock: socket.socket, worker_id: int):
+        self.service = service
+        self.sock = sock
+        self.worker_id = worker_id
+        self.out: queue.Queue = queue.Queue()
+        self.writer = threading.Thread(target=self._write_loop,
+                                       name="net-worker-writer", daemon=True)
+        self.send_failed = threading.Event()
+
+    # ------------------------------------------------------------- outbound
+    def _write_loop(self) -> None:
+        while True:
+            item = self.out.get()
+            if item is _SENTINEL:
+                return
+            try:
+                self.sock.sendall(item)
+            except OSError:
+                # Router gone: stop writing, let the reader's EOF end us.
+                self.send_failed.set()
+                return
+
+    # ------------------------------------------------------------- requests
+    def _submit(self, req_id: int, op: str, args: dict, arrays: dict) -> None:
+        version = args.get("version")
+        if version is None:
+            # Resolve once, here: the response must report the exact version
+            # it was computed with even if a refresh lands mid-flight.
+            version = self.service.active_version()
+            if version is None:
+                self.out.put(_error_frame(
+                    req_id, "closed", "registry has no published versions"))
+                return
+        version = int(version)
+        if op in ("log_amplitudes", "amplitudes"):
+            bits = arrays["bits"].astype(np.uint8, copy=False)
+            submit = (self.service.submit_log_amplitudes
+                      if op == "log_amplitudes"
+                      else self.service.submit_amplitudes)
+            fut = submit(bits, version=version, timeout=0.0)
+            pack = lambda v: ("value", np.asarray(v, dtype=np.complex128))
+        elif op == "sample":
+            fut = self.service.submit_sample(
+                int(args["n_samples"]), int(args["seed"]), version=version,
+                timeout=0.0)
+            pack = None  # SampleBatch: handled below
+        elif op == "conditional_probs":
+            fut = self.service.submit_conditional_probs(
+                arrays["prefix_tokens"].astype(np.int64, copy=False),
+                arrays["counts_up"].astype(np.int64, copy=False),
+                arrays["counts_dn"].astype(np.int64, copy=False),
+                version=version, timeout=0.0)
+            pack = lambda v: ("probs", np.asarray(v, dtype=np.float64))
+        elif op == "local_energy":
+            batch = SampleBatch(
+                bits=np.atleast_2d(arrays["bits"].astype(np.uint8, copy=False)),
+                weights=arrays["weights"].astype(np.int64, copy=False),
+            )
+            fut = self.service.submit_local_energy(
+                batch, mode=str(args.get("mode", "exact")), version=version,
+                timeout=0.0)
+            pack = lambda v: ("value", np.asarray(v, dtype=np.complex128))
+        else:  # parse_request already validated; defensive
+            self.out.put(_error_frame(req_id, "bad-request",
+                                      f"unknown op {op!r}"))
+            return
+
+        def deliver(f) -> None:
+            exc = f.exception()
+            if exc is not None:
+                self.out.put(_error_frame(req_id, _error_code(exc), str(exc)))
+                return
+            value = f.result()
+            result = {"version": version, "worker": self.worker_id}
+            if pack is None:  # sample -> SampleBatch
+                out_arrays = {"bits": value.bits.astype(np.uint8, copy=False),
+                              "weights": value.weights.astype(np.int64,
+                                                              copy=False)}
+            else:
+                name, arr = pack(value)
+                out_arrays = {name: arr}
+            self.out.put(_response_frame(req_id, result, out_arrays))
+
+        fut.add_done_callback(deliver)
+
+    def _handle_ctrl(self, meta: dict) -> bool:
+        """Returns False when the loop should stop (drain requested)."""
+        kind = meta.get("kind")
+        req_id = int(meta.get("id", 0))
+        if kind == "drain":
+            return False
+        if kind == "refresh":
+            version = self.service.refresh()
+            self.out.put(_response_frame(
+                req_id, {"version": version, "worker": self.worker_id}, {}))
+        elif kind == "stats":
+            self.out.put(_response_frame(
+                req_id,
+                {"worker": self.worker_id, "pid": os.getpid(),
+                 "version": self.service.active_version(),
+                 "service": self.service.stats()},
+                {}))
+        elif kind == "ping":
+            self.out.put(_response_frame(
+                req_id, {"worker": self.worker_id}, {}))
+        # Unknown ctrl kinds are ignored (forward compatibility).
+        return True
+
+    # ------------------------------------------------------------- the loop
+    def run(self) -> int:
+        self.writer.start()
+        self.service.start()
+        send_ctrl(self.sock, kind="worker-hello", worker_id=self.worker_id,
+                  pid=os.getpid(), version=self.service.active_version())
+        drain = False
+        try:
+            while not self.send_failed.is_set():
+                try:
+                    ftype, meta, raw = recv_frame(self.sock)
+                except (ConnectionError, OSError):
+                    break  # router gone: emergency shutdown
+                if ftype == FRAME_CTRL and meta.get("kind") != "request":
+                    if not self._handle_ctrl(meta):
+                        drain = True
+                        break
+                    continue
+                try:
+                    req_id, op, args, arrays = parse_request(ftype, meta, raw)
+                except ClusterProtocolError as exc:
+                    rid = meta.get("id") if isinstance(meta.get("id"), int) \
+                        else 0
+                    self.out.put(_error_frame(rid, "bad-request", str(exc)))
+                    continue
+                try:
+                    self._submit(req_id, op, args, arrays)
+                except BaseException as exc:  # noqa: BLE001 - per request
+                    self.out.put(_error_frame(req_id, _error_code(exc),
+                                              str(exc)))
+        finally:
+            # Graceful drain: close(drain=True) answers every accepted
+            # request (their callbacks enqueue responses) before we say bye.
+            self.service.close(drain=drain)
+            if drain:
+                self.out.put(build_frame(FRAME_CTRL,
+                                         {"kind": "worker-bye",
+                                          "worker_id": self.worker_id}))
+            self.out.put(_SENTINEL)
+            self.writer.join(timeout=10.0)
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        return 0 if drain else 1
+
+
+def run_worker(run_dir, connect: str, worker_id: int, serve_spec=None) -> int:
+    """Entry point behind ``python -m repro serve-worker`` (router-spawned).
+
+    Builds the service over ``run_dir``'s registry + Hamiltonian, dials the
+    router's internal listener, and serves frames until drained or the
+    router disappears.
+    """
+    from repro.api.driver import serve_run
+
+    config = serve_spec.to_serve_config() if serve_spec is not None else None
+    service = serve_run(run_dir, config=config)
+    host, port = parse_addr(connect)
+    sock = connect_with_retry(host, port, timeout=30.0)
+    return _Worker(service, sock, int(worker_id)).run()

@@ -139,10 +139,22 @@ class MicroBatcher:
         self._thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop accepting requests, drain the queue, join the thread."""
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests, then shut the scheduler down.
+
+        ``drain=True`` (the graceful path, wired to SIGTERM in the network
+        server): every request already accepted into the queue is served
+        before the scheduler thread exits — new submissions are rejected
+        with :class:`ServiceClosedError` from the moment close() is entered,
+        but no accepted future is ever abandoned.  ``drain=False`` (the
+        emergency path, e.g. the peer we would answer is already gone):
+        queued requests are failed with :class:`ServiceClosedError`
+        immediately; only the batch already executing finishes.
+        """
         self._closing = True
         if self._thread is not None:
+            if not drain:
+                self._fail_queued()  # empty the backlog before the marker
             self._queue.put(_SHUTDOWN)  # blocks while full; the loop drains
             self._thread.join()
             self._thread = None
@@ -161,26 +173,34 @@ class MicroBatcher:
                 )
 
     # -------------------------------------------------------------- submit
-    def submit(self, key: tuple, payload, n_rows: int = 1) -> Future:
+    def submit(self, key: tuple, payload, n_rows: int = 1,
+               timeout: float | None = None) -> Future:
         """Enqueue one request; returns its :class:`Future`.
 
         Raises :class:`ServiceClosedError` after :meth:`close`, and
         :class:`ServiceOverloadedError` when backpressure rejects the
-        request (queue full past ``submit_timeout``).
+        request (queue full past ``timeout``, defaulting to the batcher's
+        ``submit_timeout``; pass ``0.0`` for an immediate reject — the
+        network worker's non-blocking shape, where waiting would wedge the
+        socket reader behind a full queue).
         """
         if self._closing:
             raise ServiceClosedError("batcher is closed")
         if self._thread is None:
             raise ServiceClosedError("batcher not started")
+        if timeout is None:
+            timeout = self.submit_timeout
         req = _Request(key=key, payload=payload, n_rows=max(int(n_rows), 1),
                        future=Future())
         try:
-            self._queue.put(req, timeout=self.submit_timeout)
+            if timeout > 0:
+                self._queue.put(req, timeout=timeout)
+            else:
+                self._queue.put_nowait(req)
         except queue.Full:
             self.stats.rejected += 1  # benign race: stat only
             raise ServiceOverloadedError(
-                f"request queue full ({self._queue.maxsize}) for "
-                f"{self.submit_timeout}s"
+                f"request queue full ({self._queue.maxsize}) for {timeout}s"
             ) from None
         # Re-check after the put: if close() finished its drain between our
         # closing check and the put, the loop is gone and nothing would ever

@@ -152,8 +152,10 @@ class WavefunctionService:
         self._batcher.start()
         return self
 
-    def close(self) -> None:
-        self._batcher.close()
+    def close(self, drain: bool = True) -> None:
+        """Shut the service down; with ``drain`` (default) every accepted
+        request is answered first — see :meth:`MicroBatcher.close`."""
+        self._batcher.close(drain=drain)
 
     def __enter__(self) -> "WavefunctionService":
         return self.start()
@@ -202,29 +204,35 @@ class WavefunctionService:
         return entry
 
     # ------------------------------------------------------------- requests
-    def submit_sample(self, n_samples: int, seed: int, version: int | None = None):
+    def submit_sample(self, n_samples: int, seed: int, version: int | None = None,
+                      timeout: float | None = None):
         return self._batcher.submit(
-            ("sample", self._resolve(version)), (int(n_samples), int(seed))
+            ("sample", self._resolve(version)), (int(n_samples), int(seed)),
+            timeout=timeout,
         )
 
     def sample(self, n_samples: int, seed: int, version: int | None = None) -> SampleBatch:
         """Seeded BAS sampling; bit-identical to the same direct seeded call."""
         return self.submit_sample(n_samples, seed, version).result()
 
-    def submit_log_amplitudes(self, bits: np.ndarray, version: int | None = None):
+    def submit_log_amplitudes(self, bits: np.ndarray, version: int | None = None,
+                              timeout: float | None = None):
         bits = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
         return self._batcher.submit(
-            ("log_amps", self._resolve(version)), bits, n_rows=len(bits)
+            ("log_amps", self._resolve(version)), bits, n_rows=len(bits),
+            timeout=timeout,
         )
 
     def log_amplitudes(self, bits: np.ndarray, version: int | None = None) -> np.ndarray:
         """(B,) complex log Psi(x) — the microbatched hot path."""
         return self.submit_log_amplitudes(bits, version).result()
 
-    def submit_amplitudes(self, bits: np.ndarray, version: int | None = None):
+    def submit_amplitudes(self, bits: np.ndarray, version: int | None = None,
+                          timeout: float | None = None):
         bits = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
         return self._batcher.submit(
-            ("amps", self._resolve(version)), bits, n_rows=len(bits)
+            ("amps", self._resolve(version)), bits, n_rows=len(bits),
+            timeout=timeout,
         )
 
     def amplitudes(self, bits: np.ndarray, version: int | None = None) -> np.ndarray:
@@ -232,7 +240,8 @@ class WavefunctionService:
 
     def submit_conditional_probs(self, prefix_tokens: np.ndarray,
                                  counts_up: np.ndarray, counts_dn: np.ndarray,
-                                 version: int | None = None):
+                                 version: int | None = None,
+                                 timeout: float | None = None):
         payload = (
             np.atleast_2d(np.asarray(prefix_tokens, dtype=np.int64)),
             np.asarray(counts_up, dtype=np.int64),
@@ -240,7 +249,7 @@ class WavefunctionService:
         )
         return self._batcher.submit(
             ("cond_probs", self._resolve(version)), payload,
-            n_rows=len(payload[0]),
+            n_rows=len(payload[0]), timeout=timeout,
         )
 
     def conditional_probs(self, prefix_tokens: np.ndarray, counts_up: np.ndarray,
@@ -257,12 +266,13 @@ class WavefunctionService:
         ).result()
 
     def submit_local_energy(self, batch: SampleBatch, mode: str = "exact",
-                            version: int | None = None):
+                            version: int | None = None,
+                            timeout: float | None = None):
         if self.comp is None:
             raise ValueError("service was built without a Hamiltonian")
         return self._batcher.submit(
             ("local_energy", self._resolve(version)), (batch, mode),
-            n_rows=batch.n_unique,
+            n_rows=batch.n_unique, timeout=timeout,
         )
 
     def local_energy(self, batch: SampleBatch, mode: str = "exact",

@@ -13,6 +13,7 @@ Determinism contract under test (see repro/serve/service.py):
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -123,6 +124,72 @@ class TestMicroBatcher:
         assert blocker.result(timeout=5) == 0
         # The scheduler must have survived the cancelled future.
         assert mb.submit(("k",), 2).result(timeout=5) == 2
+        mb.close()
+
+    def test_close_drains_already_queued_requests(self):
+        """The graceful path (SIGTERM in the network server): every request
+        accepted before close() is served, none abandoned."""
+        def runner(key, payloads):
+            time.sleep(0.005)  # keep a backlog queued during close()
+            return list(payloads)
+
+        mb = MicroBatcher(runner, max_wait_ms=0.0, max_batch_size=1).start()
+        futures = [mb.submit(("k",), i) for i in range(10)]
+        mb.close()  # drain=True is the default
+        assert [f.result(timeout=0) for f in futures] == list(range(10))
+
+    def test_close_without_drain_fails_queued_requests(self):
+        """The emergency path: queued requests fail fast with
+        ServiceClosedError; only the batch already executing finishes."""
+        picked_up = threading.Event()
+        release = threading.Event()
+
+        def runner(key, payloads):
+            picked_up.set()
+            release.wait(timeout=10)
+            return list(payloads)
+
+        mb = MicroBatcher(runner, max_wait_ms=0.0).start()
+        blocker = mb.submit(("k",), 0)
+        assert picked_up.wait(timeout=5)
+        queued = [mb.submit(("k",), i) for i in (1, 2, 3)]
+
+        closer = threading.Thread(target=lambda: mb.close(drain=False))
+        closer.start()
+        # Queued futures are failed immediately — before the in-flight
+        # batch releases, i.e. close(drain=False) does not wait for them.
+        for f in queued:
+            with pytest.raises(ServiceClosedError):
+                f.result(timeout=5)
+        release.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        assert blocker.result(timeout=5) == 0
+
+    def test_submit_timeout_zero_rejects_immediately(self):
+        """timeout=0.0 is the network worker's shape: a full queue rejects
+        without blocking the caller (the socket-reader thread)."""
+        picked_up = threading.Event()
+        release = threading.Event()
+
+        def runner(key, payloads):
+            picked_up.set()
+            release.wait(timeout=10)
+            return list(payloads)
+
+        mb = MicroBatcher(runner, max_wait_ms=0.0, queue_capacity=1,
+                          submit_timeout=30.0).start()
+        first = mb.submit(("k",), 0)
+        assert picked_up.wait(timeout=5)
+        second = mb.submit(("k",), 1)  # fills the queue
+        t0 = time.monotonic()
+        with pytest.raises(ServiceOverloadedError):
+            mb.submit(("k",), 2, timeout=0.0)
+        # An immediate reject, not the 30 s default submit_timeout.
+        assert time.monotonic() - t0 < 1.0
+        release.set()
+        assert first.result(timeout=5) == 0
+        assert second.result(timeout=5) == 1
         mb.close()
 
     def test_submit_after_close_raises(self):

@@ -1,0 +1,572 @@
+"""The network serving tier: protocol, hash ring, router/worker topology.
+
+Fast tests cover the pure pieces (frame envelope round-trips, consistent-hash
+placement, routing keys, ServeSpec validation).  The ``@pytest.mark.slow``
+half boots the real thing — router + worker subprocesses over sockets — and
+checks the contract end to end: served results bit-identical to direct
+in-process evaluation, overload → 429 without wedging, worker crash → 503
+then respawn, version refresh mid-traffic without torn reads, and graceful
+drain on shutdown.
+"""
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.cli import main as cli_main
+from repro.api.spec import RunSpec, ServeSpec, SpecError
+from repro.parallel.rendezvous import FRAME_BLOB, FRAME_CTRL, recv_frame
+from repro.serve.net import (
+    ERROR_STATUS,
+    HashRing,
+    NetProtocolError,
+    NetServer,
+    pack_arrays,
+    parse_request,
+    parse_response,
+    routing_key,
+    send_request,
+    send_response,
+    unpack_arrays,
+)
+
+SMOKE_ARGS = [
+    "--set", "train.max_iterations=2",
+    "--set", "sampling.ns_pretrain=300",
+    "--set", "sampling.ns_max=300",
+]
+
+
+# ---------------------------------------------------------------------------
+# Array payloads + envelope (no sockets, no processes)
+# ---------------------------------------------------------------------------
+class TestArrayPayloads:
+    def test_round_trip_multiple_arrays(self):
+        arrays = {
+            "bits": np.arange(12, dtype=np.uint8).reshape(3, 4),
+            "weights": np.array([5, 7, 9], dtype=np.int64),
+            "value": np.array([1 + 2j, 3 - 4j], dtype=np.complex128),
+        }
+        metas, raw = pack_arrays(arrays)
+        out = unpack_arrays(metas, raw)
+        assert set(out) == set(arrays)
+        for name in arrays:
+            assert out[name].dtype == arrays[name].dtype
+            np.testing.assert_array_equal(out[name], arrays[name])
+
+    def test_empty_payload(self):
+        metas, raw = pack_arrays({})
+        assert metas == [] and raw == b""
+        assert unpack_arrays(metas, raw) == {}
+
+    def test_overrun_rejected(self):
+        metas, raw = pack_arrays({"a": np.zeros(4, dtype=np.float64)})
+        with pytest.raises(NetProtocolError, match="overruns"):
+            unpack_arrays(metas, raw[:-8])
+
+    def test_trailing_bytes_rejected(self):
+        metas, raw = pack_arrays({"a": np.zeros(4, dtype=np.float64)})
+        with pytest.raises(NetProtocolError, match="cover"):
+            unpack_arrays(metas, raw + b"xx")
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(NetProtocolError, match="object dtype"):
+            unpack_arrays([{"name": "a", "dtype": "|O", "shape": [1]}], b"")
+
+    def test_duplicate_names_rejected(self):
+        metas, raw = pack_arrays({"a": np.zeros(2, dtype=np.uint8)})
+        with pytest.raises(NetProtocolError, match="duplicate"):
+            unpack_arrays(metas + metas, raw + raw)
+
+    def test_malformed_meta_rejected(self):
+        with pytest.raises(NetProtocolError, match="must be a list"):
+            unpack_arrays({"not": "a list"}, b"")
+        with pytest.raises(NetProtocolError, match="must be a dict"):
+            unpack_arrays(["nope"], b"")
+        with pytest.raises(NetProtocolError, match="malformed array meta"):
+            unpack_arrays([{"dtype": "<f8", "shape": [1]}], b"\0" * 8)
+        with pytest.raises(NetProtocolError, match="shape"):
+            unpack_arrays([{"name": "a", "dtype": "<f8", "shape": [-1]}], b"")
+
+
+def _frame_round_trip(send, parse, *args, **kwargs):
+    a, b = socket.socketpair()
+    try:
+        send(a, *args, **kwargs)
+        return parse(*recv_frame(b))
+    finally:
+        a.close()
+        b.close()
+
+
+_DTYPES = st.sampled_from(["<u1", "<i8", "<f8", "<c16"])
+_SHAPES = st.lists(st.integers(0, 4), min_size=0, max_size=3)
+
+
+@st.composite
+def _array_dicts(draw):
+    names = draw(st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+        min_size=0, max_size=3, unique=True))
+    out = {}
+    for name in names:
+        dtype = np.dtype(draw(_DTYPES))
+        shape = tuple(draw(_SHAPES))
+        n = int(np.prod(shape)) if shape else 1
+        out[name] = (np.arange(n) % 251).astype(dtype).reshape(shape)
+    return out
+
+
+class TestEnvelopeRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(req_id=st.integers(0, 2**31), op=st.sampled_from(
+        ["log_amplitudes", "sample", "conditional_probs", "local_energy"]),
+        arrays=_array_dicts(),
+        seed=st.integers(0, 2**31))
+    def test_request_round_trip(self, req_id, op, arrays, seed):
+        args = {"seed": seed}
+        rid, rop, rargs, rarrays = _frame_round_trip(
+            send_request, parse_request, req_id, op, args, arrays)
+        assert (rid, rop, rargs) == (req_id, op, args)
+        assert set(rarrays) == set(arrays)
+        for name in arrays:
+            assert rarrays[name].dtype == arrays[name].dtype
+            np.testing.assert_array_equal(rarrays[name], arrays[name])
+
+    @settings(max_examples=30, deadline=None)
+    @given(req_id=st.integers(0, 2**31), arrays=_array_dicts(),
+           version=st.integers(1, 100))
+    def test_response_round_trip(self, req_id, arrays, version):
+        result = {"version": version, "worker": 0}
+        rid, error, rresult, rarrays = _frame_round_trip(
+            send_response, parse_response, req_id, result, arrays)
+        assert rid == req_id and error is None and rresult == result
+        for name in arrays:
+            np.testing.assert_array_equal(rarrays[name], arrays[name])
+
+    def test_error_response_round_trip(self):
+        from repro.serve.net import send_error
+
+        rid, error, result, arrays = _frame_round_trip(
+            send_error, parse_response, 7, "overloaded", "queue full")
+        assert rid == 7 and result == {} and arrays == {}
+        assert error == {"code": "overloaded", "message": "queue full"}
+        assert ERROR_STATUS[error["code"]] == 429
+
+    def test_unknown_error_code_normalized_to_internal(self):
+        from repro.serve.net import send_error
+
+        _, error, _, _ = _frame_round_trip(
+            send_error, parse_response, 1, "martian", "huh")
+        assert error["code"] == "internal"
+
+    def test_request_must_be_blob_frame(self):
+        with pytest.raises(NetProtocolError, match="blob"):
+            parse_request(FRAME_CTRL, {"kind": "request", "id": 1,
+                                       "op": "sample", "args": {}}, b"")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(NetProtocolError, match="unknown op"):
+            parse_request(FRAME_BLOB, {"kind": "request", "id": 1,
+                                       "op": "rm -rf", "args": {}}, b"")
+
+    def test_non_int_id_rejected(self):
+        with pytest.raises(NetProtocolError, match="id must be an int"):
+            parse_response(FRAME_CTRL, {"kind": "response", "id": "x",
+                                        "ok": False}, b"")
+
+
+# ---------------------------------------------------------------------------
+# Consistent hashing + routing keys
+# ---------------------------------------------------------------------------
+class TestHashRing:
+    def test_lookup_deterministic_across_instances(self):
+        keys = [f"key-{i}".encode() for i in range(200)]
+        r1, r2 = HashRing(), HashRing()
+        for ring in (r1, r2):
+            for node in range(4):
+                ring.add(node)
+        assert [r1.lookup(k) for k in keys] == [r2.lookup(k) for k in keys]
+
+    def test_all_nodes_get_traffic(self):
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        owners = Counter(ring.lookup(f"key-{i}".encode()) for i in range(500))
+        assert set(owners) == {0, 1, 2, 3}
+        assert min(owners.values()) > 25  # rough balance, not perfection
+
+    def test_removal_only_remaps_the_dead_nodes_keys(self):
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        keys = [f"key-{i}".encode() for i in range(300)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(2)
+        assert ring.nodes() == {0, 1, 3}
+        for k in keys:
+            if before[k] != 2:
+                assert ring.lookup(k) == before[k], "stable key remapped"
+            else:
+                assert ring.lookup(k) != 2
+        # Adding the node back restores the original placement exactly —
+        # the property the router's keep-slot-during-respawn leans on.
+        ring.add(2)
+        assert {k: ring.lookup(k) for k in keys} == before
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(KeyError, match="no live workers"):
+            HashRing().lookup(b"anything")
+        ring = HashRing()
+        ring.add("only")
+        ring.remove("only")
+        with pytest.raises(KeyError):
+            ring.lookup(b"anything")
+
+    def test_len_counts_nodes_not_vnodes(self):
+        ring = HashRing(replicas=16)
+        ring.add("a")
+        ring.add("a")  # idempotent
+        ring.add("b")
+        assert len(ring) == 2
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+
+class TestRoutingKey:
+    def test_conditional_probs_keyed_by_prefix_anchor(self):
+        base = np.arange(12, dtype=np.int64).reshape(1, 12)
+        extended = np.concatenate([base, [[12, 13]]], axis=None).reshape(1, 14)
+        counts = {"counts_up": np.ones(1, np.int64),
+                  "counts_dn": np.ones(1, np.int64)}
+        k_base = routing_key("conditional_probs", {},
+                             {"prefix_tokens": base, **counts})
+        k_ext = routing_key("conditional_probs", {},
+                            {"prefix_tokens": extended, **counts})
+        # Extending a decode trajectory past the anchor keeps it on the
+        # same worker (the one holding its live KV-cache session).
+        assert k_base == k_ext
+        different = base.copy()
+        different[0, 0] += 1
+        assert routing_key("conditional_probs", {},
+                           {"prefix_tokens": different, **counts}) != k_base
+
+    def test_sample_keyed_by_seed(self):
+        assert routing_key("sample", {"seed": 3}, {}) == \
+            routing_key("sample", {"seed": 3, "n_samples": 999}, {})
+        assert routing_key("sample", {"seed": 3}, {}) != \
+            routing_key("sample", {"seed": 4}, {})
+
+    def test_bits_ops_keyed_by_first_row(self):
+        rows = np.array([[1, 0, 1, 0], [0, 1, 0, 1]], dtype=np.uint8)
+        k1 = routing_key("log_amplitudes", {}, {"bits": rows})
+        k2 = routing_key("local_energy", {}, {"bits": rows[:1]})
+        assert k1 == k2  # same leading row co-locates (table reuse)
+        assert routing_key("log_amplitudes", {},
+                           {"bits": rows[::-1]}) != k1
+
+    def test_empty_arrays_do_not_crash(self):
+        assert routing_key("log_amplitudes", {}, {}) == b"bt:"
+        assert routing_key("conditional_probs", {}, {}) == b"cp:"
+
+
+# ---------------------------------------------------------------------------
+# ServeSpec
+# ---------------------------------------------------------------------------
+class TestServeSpec:
+    def test_defaults_valid_and_round_trip(self):
+        spec = RunSpec()
+        out = RunSpec.from_dict(spec.to_dict())
+        assert out.serve == spec.serve
+
+    def test_spec_without_serve_section_still_loads(self):
+        # Run dirs written before the serving tier existed have no "serve"
+        # key in spec.json; they must keep loading with defaults.
+        data = RunSpec().to_dict()
+        del data["serve"]
+        assert RunSpec.from_dict(data).serve == ServeSpec()
+
+    def test_validation_names_field_paths(self):
+        with pytest.raises(SpecError, match="serve.max_batch_size"):
+            ServeSpec(max_batch_size=0)
+        with pytest.raises(SpecError, match="serve.workers"):
+            ServeSpec(workers=-1)
+        with pytest.raises(SpecError, match="serve.max_wait_ms"):
+            ServeSpec(max_wait_ms=-1.0)
+        with pytest.raises(SpecError, match="serve.drain_timeout_s"):
+            ServeSpec(drain_timeout_s=0)
+
+    def test_set_overrides_reach_serve_section(self):
+        spec = RunSpec().with_overrides(
+            ["serve.max_batch_size=64", "serve.workers=3",
+             "serve.max_wait_ms=0.5"])
+        assert spec.serve.max_batch_size == 64
+        assert spec.serve.workers == 3
+        assert spec.serve.max_wait_ms == 0.5
+        with pytest.raises(SpecError, match="serve.queue_capacity"):
+            RunSpec().with_overrides(["serve.queue_capacity=0"])
+
+    def test_to_serve_config_carries_batcher_knobs(self):
+        cfg = ServeSpec(max_batch_size=17, max_wait_ms=0.25,
+                        queue_capacity=5, submit_timeout=1.5).to_serve_config()
+        assert (cfg.max_batch_size, cfg.max_wait_ms,
+                cfg.queue_capacity, cfg.submit_timeout) == (17, 0.25, 5, 1.5)
+
+
+# ---------------------------------------------------------------------------
+# End to end: router + worker processes over real sockets
+# ---------------------------------------------------------------------------
+def _post(port: int, path: str, body: dict, timeout: float = 60.0):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(port: int, path: str, timeout: float = 30.0):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _complex(pairs) -> np.ndarray:
+    return np.array([complex(re, im) for re, im in pairs],
+                    dtype=np.complex128)
+
+
+@pytest.fixture(scope="module")
+def net_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("net") / "run"
+    rc = cli_main(["run", "--preset", "smoke", *SMOKE_ARGS,
+                   "--run-dir", str(run_dir)])
+    assert rc == 0
+    return run_dir
+
+
+@contextmanager
+def _server(run_dir, workers: int = 2, **spec_kw):
+    spec_kw.setdefault("max_wait_ms", 0.0)
+    server = NetServer(run_dir, workers=workers,
+                       serve_spec=ServeSpec(**spec_kw)).start()
+    try:
+        server.wait_ready(timeout=120.0)
+        yield server
+    finally:
+        server.close()
+
+
+@pytest.mark.slow
+class TestServingE2E:
+    def test_served_results_bit_identical_to_direct(self, net_run):
+        from repro.api.driver import serve_run
+
+        with serve_run(net_run) as svc:
+            batch = svc.sample(64, seed=3)
+            direct_la = svc.log_amplitudes(batch.bits)
+        with _server(net_run) as server:
+            status, resp = _post(server.port, "/v1/log_amplitudes",
+                                 {"bits": batch.bits.tolist()})
+            assert status == 200 and resp["ok"]
+            np.testing.assert_array_equal(_complex(resp["value"]), direct_la)
+
+            status, resp = _post(server.port, "/v1/sample",
+                                 {"n_samples": 64, "seed": 3})
+            assert status == 200
+            np.testing.assert_array_equal(
+                np.asarray(resp["bits"], dtype=np.uint8), batch.bits)
+            np.testing.assert_array_equal(
+                np.asarray(resp["weights"], dtype=np.int64), batch.weights)
+
+    def test_overload_returns_429_without_wedging(self, net_run):
+        rng = np.random.default_rng(0)
+        payloads = [[[int(b) for b in rng.integers(0, 2, 4)]]
+                    for _ in range(150)]
+        with _server(net_run, queue_capacity=2, max_batch_size=2) as server:
+            def one(bits):
+                return _post(server.port, "/v1/log_amplitudes",
+                             {"bits": bits})[0]
+
+            with ThreadPoolExecutor(32) as pool:
+                codes = Counter(pool.map(one, payloads))
+            # Burst past queue_capacity: some rejected, none mangled.
+            assert set(codes) <= {200, 429}, codes
+            assert codes[200] > 0
+            assert codes[429] > 0, f"no backpressure seen: {codes}"
+            # The full-queue path must not wedge the worker: a fresh
+            # request right after the burst is served.
+            assert _post(server.port, "/v1/log_amplitudes",
+                         {"bits": [[0, 1, 0, 1]]})[0] == 200
+            _, stats = _get(server.port, "/v1/stats")
+            assert stats["http"]["statuses"].get("429", 0) > 0
+
+    def test_worker_crash_gives_503_then_respawns(self, net_run):
+        with _server(net_run, respawn_backoff_s=0.2) as server:
+            _, stats = _get(server.port, "/v1/stats")
+            os.kill(stats["per_worker"][0]["pid"], signal.SIGKILL)
+
+            # Keys owned by the dead slot answer 503 during the respawn
+            # window (the slot stays in the ring — no cache-cold migration).
+            probe, saw_503 = None, False
+            rng = np.random.default_rng(1)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not saw_503:
+                bits = [[int(b) for b in rng.integers(0, 2, 4)]]
+                status, resp = _post(server.port, "/v1/log_amplitudes",
+                                     {"bits": bits})
+                if status == 503:
+                    probe, saw_503 = bits, True
+            assert saw_503, "no 503 observed after SIGKILL"
+
+            # After the respawn the very same key is served again.
+            deadline = time.monotonic() + 60.0
+            status = None
+            while time.monotonic() < deadline:
+                status, _ = _post(server.port, "/v1/log_amplitudes",
+                                  {"bits": probe})
+                if status == 200:
+                    break
+                time.sleep(0.2)
+            assert status == 200, "worker did not respawn"
+            _, stats = _get(server.port, "/v1/stats")
+            assert stats["restarts"] >= 1
+            assert stats["live"] == 2
+
+    def test_refresh_mid_traffic_has_no_torn_reads(self, net_run,
+                                                   tmp_path_factory):
+        from repro.serve.registry import ModelRegistry
+
+        # Private copy: this test publishes a second version.
+        run_dir = tmp_path_factory.mktemp("refresh") / "run"
+        shutil.copytree(net_run, run_dir)
+        registry = ModelRegistry(run_dir / "models")
+        v1 = registry.latest_version()
+        bits = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+
+        with _server(run_dir, refresh_poll_s=0.3) as server:
+            responses = []
+            status, resp = _post(server.port, "/v1/log_amplitudes",
+                                 {"bits": bits.tolist()})
+            assert status == 200 and resp["version"] == v1
+            responses.append(resp)
+
+            wf, _ = registry.load()
+            wf.set_flat_params(wf.get_flat_params() + 0.01)
+            v2 = registry.publish(wf, metadata={"test": "v2"})
+
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                status, resp = _post(server.port, "/v1/log_amplitudes",
+                                     {"bits": bits.tolist()})
+                assert status == 200
+                responses.append(resp)
+                if resp["version"] == v2:
+                    break
+                time.sleep(0.05)
+            assert responses[-1]["version"] == v2, "refresh never landed"
+
+        # No torn reads: every response bit-matches the direct evaluation
+        # of exactly the version it reports — never a blend.
+        direct = {}
+        for version in (v1, v2):
+            wf_v, _ = registry.load(version)
+            direct[version] = wf_v.log_amplitudes(bits)
+        for resp in responses:
+            assert resp["version"] in (v1, v2)
+            np.testing.assert_array_equal(
+                _complex(resp["value"]), direct[resp["version"]],
+                err_msg=f"torn read at version {resp['version']}")
+
+    def test_graceful_drain_writes_stats_and_reaps_workers(self, net_run):
+        server = NetServer(net_run, workers=2,
+                           serve_spec=ServeSpec(max_wait_ms=0.0)).start()
+        try:
+            server.wait_ready(timeout=120.0)
+            for seed in range(3):
+                assert _post(server.port, "/v1/sample",
+                             {"n_samples": 16, "seed": seed})[0] == 200
+        finally:
+            stats = server.close()
+        assert stats is not None and stats["drained"]
+        # Drained workers exit 0 (the crash path exits nonzero).
+        for proc in server._procs:
+            assert proc is not None and proc.poll() == 0
+        stats_path = net_run / "serve_stats.json"
+        assert stats_path.exists()
+        recorded = json.loads(stats_path.read_text())
+        assert recorded["http"]["requests"] >= 3
+        batchers = [w["service"]["batcher"]
+                    for w in recorded["per_worker"] if "service" in w]
+        assert sum(b["requests"] for b in batchers) >= 3
+        # Closing twice is a no-op, not an error.
+        assert server.close() is None
+
+    def test_info_surfaces_serving_stats(self, net_run, capsys):
+        # Runs after the drain test wrote serve_stats.json (same module
+        # fixture); guard in case of reordering.
+        if not (net_run / "serve_stats.json").exists():
+            with _server(net_run) as server:
+                _post(server.port, "/v1/sample", {"n_samples": 8, "seed": 0})
+        assert cli_main(["info", str(net_run)]) == 0
+        out = capsys.readouterr().out
+        assert "models   versions" in out
+        assert "serving" in out
+        assert "rows/batch" in out
+
+    def test_cli_serve_http_end_to_end(self, net_run):
+        env = os.environ.copy()
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(net_run),
+             "--port", "0", "--workers", "2",
+             "--set", "serve.max_wait_ms=0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            line, deadline = "", time.monotonic() + 180.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "serving" in line and "http://" in line:
+                    break
+            assert "http://" in line, f"server never came up: {line!r}"
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            status, body = _get(port, "/v1/healthz")
+            assert status == 200 and body["workers"] == 2
+            assert _post(port, "/v1/log_amplitudes",
+                         {"bits": [[1, 0, 1, 0]]})[0] == 200
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+            assert "draining" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # No leaked worker processes after the drain.
+        leaked = subprocess.run(
+            ["pgrep", "-f", f"repro serve-worker {net_run}"],
+            capture_output=True, text=True).stdout.strip()
+        assert leaked == "", f"leaked workers: {leaked}"
