@@ -47,7 +47,8 @@ from repro.api.registry import (
     UnknownComponentError,
 )
 from repro.api.spec import AnsatzSpec, ProblemSpec, RunSpec, SpecError
-from repro.core.engine import SerialBackend
+from repro.backend import counter_delta, get_backend, use_backend
+from repro.core.engine import SerialBackend, _merge_transfers
 from repro.chem import build_problem, run_fci
 from repro.chem.pipeline import MolecularProblem
 from repro.core.trainer import TrainConfig, Trainer, TrainReport, build_report
@@ -69,6 +70,7 @@ __all__ = [
     "materialize_ansatz",
     "materialize_sampler",
     "materialize_backend",
+    "materialize_array_backend",
     "materialize_eloc_kernel",
     "run",
     "resume",
@@ -237,6 +239,31 @@ def materialize_backend(spec: RunSpec):
     return backend
 
 
+def materialize_array_backend(spec: RunSpec):
+    """Resolve the spec's ``backend`` section into a live ArrayBackend.
+
+    The section validates the *name* at spec time; availability of the
+    optional device wheels (torch / cupy) is checked here, at
+    materialization, with the spec field named.
+    """
+    try:
+        return get_backend(spec.backend.name, device=spec.backend.device)
+    except ImportError as exc:
+        raise SpecError(f"backend.name: {exc}") from None
+
+
+def _backend_report(spec: RunSpec, history: list[VMCStats]) -> dict:
+    """The report.json ``backend`` section: name + aggregated transfer
+    counters (instrumented backends only — numpy runs report the name)."""
+    info: dict = {"name": spec.backend.name}
+    transfers = _merge_transfers([
+        {"transfers": s.transfers} for s in history
+    ])
+    if transfers is not None:
+        info["transfers"] = transfers
+    return info
+
+
 def _close_backend(backend) -> None:
     """Release backend-held resources (sockets, rendezvous membership)."""
     close = getattr(backend, "close", None)
@@ -275,9 +302,13 @@ def _prepare_run_dir(spec: RunSpec, run_dir: str | Path | None) -> Path:
     return target
 
 
-def _write_report(run_dir: Path, report: TrainReport) -> None:
+def _write_report(run_dir: Path, report: TrainReport,
+                  backend_info: dict | None = None) -> None:
+    payload = report.to_dict()
+    if backend_info is not None:
+        payload["backend"] = backend_info
     (run_dir / REPORT_FILE).write_text(
-        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
 
 
@@ -329,6 +360,7 @@ def run(spec: RunSpec | dict, run_dir: str | Path | None = None,
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
     backend = materialize_backend(spec)
+    array_backend = materialize_array_backend(spec)
     materialize_eloc_kernel(spec)
     e_ref = _resolve_reference(spec, problem)
     spec.save(target / SPEC_FILE)
@@ -337,18 +369,19 @@ def run(spec: RunSpec | dict, run_dir: str | Path | None = None,
         if spec.optimizer.name == "adamw":
             OPTIMIZERS.get("adamw")  # name must be registered like any other
             trainer = _build_trainer(spec, target, problem, wf, sampler,
-                                     backend, e_ref)
+                                     backend, e_ref, array_backend)
             report = trainer.train(on_iteration=_publisher(spec, target, wf))
+            history = trainer.vmc.history
         else:
-            report = _run_step_protocol(spec, target, problem, wf, sampler,
-                                        e_ref)
+            report, history = _run_step_protocol(spec, target, problem, wf,
+                                                 sampler, e_ref, array_backend)
     finally:
         # Backends holding live resources (the cluster backend's sockets and
         # rendezvous membership) release them even when training raises, so
         # a poisoned run neither hangs its peers nor leaks sockets.
         _close_backend(backend)
 
-    _write_report(target, report)
+    _write_report(target, report, _backend_report(spec, history))
     version = _publish_final(spec, target, wf, report)
     return RunResult(run_dir=target, spec=spec, report=report,
                      published_version=version, wavefunction=wf)
@@ -367,7 +400,8 @@ def _require_autoregressive(spec: RunSpec, wf) -> None:
 
 
 def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
-                   wf, sampler, backend, e_ref: float | None) -> Trainer:
+                   wf, sampler, backend, e_ref: float | None,
+                   array_backend=None) -> Trainer:
     cfg = TrainConfig(
         max_iterations=spec.train.max_iterations,
         pretrain_steps=spec.train.pretrain_steps,
@@ -384,6 +418,7 @@ def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
         seed=spec.train.seed,
         sampler=sampler,
         backend=backend,
+        array_backend=array_backend,
         group_chunk=spec.parallel.group_chunk,
         sample_chunk=spec.parallel.sample_chunk,
         eloc_memory_budget_mb=spec.parallel.eloc_memory_budget_mb,
@@ -402,7 +437,8 @@ def _build_trainer(spec: RunSpec, run_dir: Path, problem: MolecularProblem,
 
 def _run_step_protocol(spec: RunSpec, run_dir: Path,
                        problem: MolecularProblem, wf, sampler,
-                       e_ref: float | None) -> TrainReport:
+                       e_ref: float | None,
+                       array_backend=None) -> tuple[TrainReport, list[VMCStats]]:
     """The generic optimizer loop: sample -> E_loc -> ``opt.step(batch, eloc)``.
 
     Any registered optimizer exposing the SR protocol plugs in here.  The
@@ -450,16 +486,26 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
                 target_prob=spec.train.pretrain_target,
             )
             emit({"event": "pretrain", "pi_hf": pi})
+        array_backend = array_backend or get_backend("numpy")
         for i in range(spec.train.max_iterations):
-            batch = sample(wf, schedule(i), rng)
-            eloc, _ = local_energy(
-                wf, comp, batch, mode=spec.sampling.eloc_mode,
-                group_chunk=spec.parallel.group_chunk,
-                sample_chunk=spec.parallel.sample_chunk,
-                memory_budget_bytes=budget_bytes,
-                kernel=kernel_name, plan=plan,
-            )
-            info = opt.step(batch, eloc)
+            snap0 = array_backend.counter_snapshot()
+            with use_backend(array_backend):
+                batch = sample(wf, schedule(i), rng)
+                snap1 = array_backend.counter_snapshot()
+                eloc, _ = local_energy(
+                    wf, comp, batch, mode=spec.sampling.eloc_mode,
+                    group_chunk=spec.parallel.group_chunk,
+                    sample_chunk=spec.parallel.sample_chunk,
+                    memory_budget_bytes=budget_bytes,
+                    kernel=kernel_name, plan=plan,
+                )
+                info = opt.step(batch, eloc)
+            snap2 = array_backend.counter_snapshot()
+            sampling = counter_delta(snap0, snap1)
+            transfers = None
+            if sampling is not None:
+                transfers = {"sampling": sampling,
+                             "post_sampling": counter_delta(snap1, snap2)}
             w = batch.weights / batch.weights.sum()
             energy = float(np.sum(w * eloc.real))
             variance = float(np.sum(w * (eloc.real - energy) ** 2))
@@ -468,6 +514,7 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
                 n_unique=batch.n_unique, n_samples=batch.n_samples,
                 lr=float(getattr(info, "update_norm", 0.0)),
                 eloc_imag=float(np.abs(np.sum(w * eloc.imag))),
+                transfers=transfers,
             )
             history.append(stats)
             emit({
@@ -480,11 +527,12 @@ def _run_step_protocol(spec: RunSpec, run_dir: Path,
                       f"var = {variance:.2e}  N_u = {batch.n_unique}")
             if publish is not None:
                 publish(stats)
-    return build_report(
+    report = build_report(
         history, getattr(wf, "n_qubits", problem.n_qubits),
         time.perf_counter() - t0, stopped_early=False,
         e_hf=problem.e_hf, e_reference=e_ref,
     )
+    return report, history
 
 
 def resume(run_dir: str | Path,
@@ -521,17 +569,18 @@ def resume(run_dir: str | Path,
     _require_autoregressive(spec, wf)
     sampler = materialize_sampler(spec, problem)
     backend = materialize_backend(spec)
+    array_backend = materialize_array_backend(spec)
     materialize_eloc_kernel(spec)
     e_ref = _resolve_reference(spec, problem)
     trainer = _build_trainer(spec, run_dir, problem, wf, sampler, backend,
-                             e_ref)
+                             e_ref, array_backend)
     try:
         trainer.resume(ckpt)
         start_iteration = trainer.vmc.iteration
         report = trainer.train(on_iteration=_publisher(spec, run_dir, wf))
     finally:
         _close_backend(backend)
-    _write_report(run_dir, report)
+    _write_report(run_dir, report, _backend_report(spec, trainer.vmc.history))
     if report.iterations > start_iteration:
         version = _publish_final(spec, run_dir, wf, report)
     else:

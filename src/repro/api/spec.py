@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
+from repro.backend import BACKEND_NAMES
 from repro.core.engine import ELOC_MODES, ELOC_PARTITIONS
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "OptimizerSpec",
     "SamplingSpec",
     "ParallelSpec",
+    "BackendSpec",
     "TrainSpec",
     "OutputSpec",
     "ServeSpec",
@@ -327,6 +329,35 @@ class ParallelSpec(_Spec):
 
 
 @dataclass
+class BackendSpec(_Spec):
+    """Array-backend choice — which namespace the hot kernels allocate on.
+
+    ``name`` picks a registered :mod:`repro.backend` implementation:
+    ``numpy`` (the default; bit-identical to the historical code),
+    ``mock`` (numpy wrapped with allocation/transfer counters — the
+    residency-contract verifier, still bit-identical), or the import-gated
+    device backends ``torch`` / ``cupy``.  ``device`` is the backend's
+    device string (e.g. ``cuda:0``); None keeps its default placement.
+    Validation here checks the *name* only — availability of optional
+    wheels is a materialize-time concern (:mod:`repro.api.driver`).
+    """
+
+    _SECTION = "backend"
+
+    name: str = "numpy"
+    device: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.name in BACKEND_NAMES,
+                 "backend.name",
+                 f"must be one of {BACKEND_NAMES}, got {self.name!r}")
+        _require(self.device is None
+                 or (isinstance(self.device, str) and bool(self.device)),
+                 "backend.device",
+                 f"must be None or a device string, got {self.device!r}")
+
+
+@dataclass
 class TrainSpec(_Spec):
     """Loop budget, warm start, and stopping policy (Sec. 4.1 protocol)."""
 
@@ -412,8 +443,11 @@ class ServeSpec(_Spec):
     refresh_poll_s: float = 2.0     # registry poll period (0: disabled)
     respawn_backoff_s: float = 0.5  # wait before restarting a dead worker
     drain_timeout_s: float = 10.0   # graceful-shutdown budget
+    backend: str = "numpy"          # array backend model evaluations run under
 
     def __post_init__(self) -> None:
+        _require(self.backend in BACKEND_NAMES, "serve.backend",
+                 f"must be one of {BACKEND_NAMES}, got {self.backend!r}")
         for attr in ("max_batch_size", "queue_capacity", "workers",
                      "prefix_anchor", "hash_replicas", "max_loaded_versions",
                      "session_pool_size", "prefix_cache_entries",
@@ -445,6 +479,7 @@ class ServeSpec(_Spec):
             session_pool_size=self.session_pool_size,
             prefix_cache_entries=self.prefix_cache_entries,
             table_max_entries=self.table_max_entries,
+            backend=self.backend,
         )
 
 
@@ -458,6 +493,7 @@ class RunSpec(_Spec):
     optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
+    backend: BackendSpec = field(default_factory=BackendSpec)
     train: TrainSpec = field(default_factory=TrainSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
@@ -502,6 +538,7 @@ _SUBSPEC_TYPES = {
     (RunSpec, "optimizer"): OptimizerSpec,
     (RunSpec, "sampling"): SamplingSpec,
     (RunSpec, "parallel"): ParallelSpec,
+    (RunSpec, "backend"): BackendSpec,
     (RunSpec, "train"): TrainSpec,
     (RunSpec, "output"): OutputSpec,
     (RunSpec, "serve"): ServeSpec,

@@ -1,29 +1,38 @@
-"""A reverse-mode automatic differentiation engine over numpy arrays.
+"""A reverse-mode automatic differentiation engine over backend arrays.
 
 This is the substrate that replaces PyTorch in the reproduction: a ``Tensor``
-wraps a float64 ``numpy.ndarray`` and records the operations applied to it so
-that ``backward()`` can accumulate gradients through the graph.  Only the
+wraps a float64 array from the active array backend (``repro.backend.xp`` —
+numpy by default) and records the operations applied to it so that
+``backward()`` can accumulate gradients through the graph.  Only the
 operator set needed by the paper's models (transformer decoders, MLPs, MADE)
-is implemented, but each operator supports full numpy broadcasting so the
-modules read like their PyTorch counterparts.
+is implemented, but each operator supports full broadcasting so the modules
+read like their PyTorch counterparts.
 
 Design notes
 ------------
-* Gradients are accumulated into ``Tensor.grad`` (dense ndarray, same shape as
-  ``data``); graphs are rebuilt each forward pass (define-by-run).
+* Gradients are accumulated into ``Tensor.grad`` (dense backend array, same
+  shape as ``data``) and stay on the backend's device; graphs are rebuilt
+  each forward pass (define-by-run).
 * ``no_grad()`` disables taping, used by the sampler's pure-inference passes —
   this mirrors the paper's split between sampling (inference) and the backward
   pass (Fig. 4).
-* All math is float64: VMC gradients are small differences of local energies,
-  and float32 noise visibly degrades convergence at chemical accuracy.
+* All math is float64 (``repro.backend.dtypes``): VMC gradients are small
+  differences of local energies, and float32 noise visibly degrades
+  convergence at chemical accuracy.
+* Array math goes through ``xp``-level functions (``xp.sum``, ``xp.transpose``)
+  rather than ndarray methods where the conventions differ across backends,
+  so the same tape runs on numpy, the counting mock, and the torch adapter.
 """
 from __future__ import annotations
 
 import contextlib
+import itertools
+import math
 import threading
 from typing import Callable, Iterable
 
-import numpy as np
+from repro.backend import xp
+from repro.backend.dtypes import bool_, float64
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -55,23 +64,23 @@ def is_grad_enabled() -> bool:
     return _grad_stack()[-1]
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+def _unbroadcast(grad, shape: tuple[int, ...]):
+    """Sum ``grad`` down to ``shape`` (inverse of broadcasting)."""
     if grad.shape == shape:
         return grad
     # Sum over leading axes added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = xp.sum(grad, axis=tuple(range(extra)))
     # Sum over axes that were size-1 in the original shape.
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = xp.sum(grad, axis=axes, keepdims=True)
     return grad.reshape(shape)
 
 
 class Tensor:
-    """A numpy array with a gradient tape."""
+    """A backend array with a gradient tape."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
     __array_priority__ = 100.0  # numpy defers binary ops to Tensor
@@ -79,10 +88,10 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
-        self.grad: np.ndarray | None = None
+        self.data = xp.asarray(data, dtype=float64)
+        self.grad = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
-        self._backward: Callable[[np.ndarray], None] | None = None
+        self._backward: Callable | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
 
@@ -99,7 +108,7 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
-    def numpy(self) -> np.ndarray:
+    def numpy(self):
         return self.data
 
     def item(self) -> float:
@@ -117,7 +126,7 @@ class Tensor:
 
     # ----------------------------------------------------------- graph build
     @staticmethod
-    def _make(data: np.ndarray, parents: Iterable["Tensor"], backward) -> "Tensor":
+    def _make(data, parents: Iterable["Tensor"], backward) -> "Tensor":
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
@@ -126,20 +135,20 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            self.grad = xp.zeros_like(self.data)
         self.grad += grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad=None) -> None:
         """Backpropagate from this tensor (must be scalar unless grad given)."""
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("backward() without grad requires a scalar output")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            grad = xp.ones_like(self.data)
+        grad = xp.asarray(grad, dtype=float64)
 
         # Topological order via iterative DFS (graphs can be deep: one
         # attention layer per sampled token position).
@@ -159,7 +168,7 @@ class Tensor:
                 if p.requires_grad and id(p) not in visited:
                     stack.append((p, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
+        grads: dict[int, object] = {id(self): grad}
         for node in reversed(topo):
             g = grads.pop(id(node), None)
             if g is None:
@@ -171,7 +180,7 @@ class Tensor:
             for p, pg in zip(node._parents, parent_grads):
                 if pg is None or not p.requires_grad:
                     continue
-                pg = _unbroadcast(np.asarray(pg, dtype=np.float64), p.data.shape)
+                pg = _unbroadcast(xp.asarray(pg, dtype=float64), p.data.shape)
                 if p._backward is None and not p._parents:
                     p._accumulate(pg)  # leaf
                 else:
@@ -235,8 +244,8 @@ class Tensor:
         def backward(g):
             if a.ndim == 1 and b.ndim == 1:
                 return (g * b, g * a)
-            ga = g @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(g, b)
-            gb = np.swapaxes(a, -1, -2) @ g if a.ndim > 1 else np.outer(a, g)
+            ga = g @ xp.swapaxes(b, -1, -2) if b.ndim > 1 else xp.outer(g, b)
+            gb = xp.swapaxes(a, -1, -2) @ g if a.ndim > 1 else xp.outer(a, g)
             # batched matmul may broadcast batch dims
             return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
 
@@ -244,15 +253,15 @@ class Tensor:
 
     # ------------------------------------------------------------- reductions
     def sum(self, axis=None, keepdims: bool = False):
-        out = self.data.sum(axis=axis, keepdims=keepdims)
+        out = xp.sum(self.data, axis=axis, keepdims=keepdims)
 
         def backward(g):
-            g = np.asarray(g)
+            g = xp.asarray(g)
             if axis is None:
-                return (np.broadcast_to(g, self.data.shape).copy(),)
+                return (xp.array(xp.broadcast_to(g, self.data.shape)),)
             if not keepdims:
-                g = np.expand_dims(g, axis)
-            return (np.broadcast_to(g, self.data.shape).copy(),)
+                g = xp.expand_dims(g, axis)
+            return (xp.array(xp.broadcast_to(g, self.data.shape)),)
 
         return Tensor._make(out, (self,), backward)
 
@@ -262,19 +271,19 @@ class Tensor:
 
     # ---------------------------------------------------------- elementwise
     def exp(self):
-        out = np.exp(self.data)
+        out = xp.exp(self.data)
         return Tensor._make(out, (self,), lambda g: (g * out,))
 
     def log(self):
         a = self.data
-        return Tensor._make(np.log(a), (self,), lambda g: (g / a,))
+        return Tensor._make(xp.log(a), (self,), lambda g: (g / a,))
 
     def sqrt(self):
-        out = np.sqrt(self.data)
+        out = xp.sqrt(self.data)
         return Tensor._make(out, (self,), lambda g: (g * 0.5 / out,))
 
     def tanh(self):
-        out = np.tanh(self.data)
+        out = xp.tanh(self.data)
         return Tensor._make(out, (self,), lambda g: (g * (1.0 - out * out),))
 
     def relu(self):
@@ -283,15 +292,15 @@ class Tensor:
         return Tensor._make(a * mask, (self,), lambda g: (g * mask,))
 
     def sigmoid(self):
-        out = 1.0 / (1.0 + np.exp(-self.data))
+        out = 1.0 / (1.0 + xp.exp(-self.data))
         return Tensor._make(out, (self,), lambda g: (g * out * (1.0 - out),))
 
     def gelu(self):
         """tanh-approximation GELU (the variant used by GPT-style decoders)."""
         a = self.data
-        c = np.sqrt(2.0 / np.pi)
+        c = math.sqrt(2.0 / math.pi)
         inner = c * (a + 0.044715 * a**3)
-        t = np.tanh(inner)
+        t = xp.tanh(inner)
         out = 0.5 * a * (1.0 + t)
 
         def backward(g):
@@ -315,54 +324,55 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        inv = np.argsort(axes)
+        inv = tuple(sorted(range(len(axes)), key=axes.__getitem__))
         return Tensor._make(
-            self.data.transpose(axes), (self,), lambda g: (g.transpose(inv),)
+            xp.transpose(self.data, axes), (self,),
+            lambda g: (xp.transpose(g, inv),)
         )
 
     def swapaxes(self, a: int, b: int):
         return Tensor._make(
-            np.swapaxes(self.data, a, b), (self,), lambda g: (np.swapaxes(g, a, b),)
+            xp.swapaxes(self.data, a, b), (self,), lambda g: (xp.swapaxes(g, a, b),)
         )
 
     def __getitem__(self, idx):
         out = self.data[idx]
 
         def backward(g):
-            full = np.zeros_like(self.data)
-            np.add.at(full, idx, g)
+            full = xp.zeros_like(self.data)
+            xp.add.at(full, idx, g)
             return (full,)
 
         return Tensor._make(out, (self,), backward)
 
     # ------------------------------------------------------- fused helpers
-    def masked_fill(self, mask: np.ndarray, value: float):
+    def masked_fill(self, mask, value: float):
         """Return a tensor equal to self with ``value`` where ``mask`` is True."""
-        mask = np.asarray(mask, dtype=bool)
-        out = np.where(mask, value, self.data)
-        return Tensor._make(out, (self,), lambda g: (np.where(mask, 0.0, g),))
+        mask = xp.asarray(mask, dtype=bool_)
+        out = xp.where(mask, value, self.data)
+        return Tensor._make(out, (self,), lambda g: (xp.where(mask, 0.0, g),))
 
     def log_softmax(self, axis: int = -1):
         a = self.data
-        m = a.max(axis=axis, keepdims=True)
+        m = xp.max(a, axis=axis, keepdims=True)
         shifted = a - m
-        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        lse = xp.log(xp.sum(xp.exp(shifted), axis=axis, keepdims=True))
         out = shifted - lse
 
         def backward(g):
-            softmax = np.exp(out)
-            return (g - softmax * g.sum(axis=axis, keepdims=True),)
+            softmax = xp.exp(out)
+            return (g - softmax * xp.sum(g, axis=axis, keepdims=True),)
 
         return Tensor._make(out, (self,), backward)
 
     def softmax(self, axis: int = -1):
         a = self.data
-        m = a.max(axis=axis, keepdims=True)
-        e = np.exp(a - m)
-        out = e / e.sum(axis=axis, keepdims=True)
+        m = xp.max(a, axis=axis, keepdims=True)
+        e = xp.exp(a - m)
+        out = e / xp.sum(e, axis=axis, keepdims=True)
 
         def backward(g):
-            dot = (g * out).sum(axis=axis, keepdims=True)
+            dot = xp.sum(g * out, axis=axis, keepdims=True)
             return (out * (g - dot),)
 
         return Tensor._make(out, (self,), backward)
@@ -371,9 +381,9 @@ class Tensor:
 def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     datas = [t.data for t in tensors]
-    out = np.concatenate(datas, axis=axis)
+    out = xp.concatenate(datas, axis=axis)
     sizes = [d.shape[axis] for d in datas]
-    offsets = np.cumsum([0] + sizes)
+    offsets = list(itertools.accumulate([0] + sizes))
 
     def backward(g):
         grads = []
@@ -387,22 +397,22 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
-    out = np.stack([t.data for t in tensors], axis=axis)
+    out = xp.stack([t.data for t in tensors], axis=axis)
 
     def backward(g):
-        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+        return tuple(xp.take(g, i, axis=axis) for i in range(len(tensors)))
 
     return Tensor._make(out, tensors, backward)
 
 
-def embedding_lookup(table: Tensor, idx: np.ndarray) -> Tensor:
+def embedding_lookup(table: Tensor, idx) -> Tensor:
     """Row gather ``table[idx]`` with scatter-add backward (nn.Embedding)."""
-    idx = np.asarray(idx)
+    idx = xp.asarray(idx)
     out = table.data[idx]
 
     def backward(g):
-        full = np.zeros_like(table.data)
-        np.add.at(full, idx.reshape(-1), g.reshape(-1, table.data.shape[-1]))
+        full = xp.zeros_like(table.data)
+        xp.add.at(full, idx.reshape(-1), g.reshape(-1, table.data.shape[-1]))
         return (full,)
 
     return Tensor._make(out, (table,), backward)

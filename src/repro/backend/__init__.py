@@ -1,0 +1,121 @@
+"""``repro.backend`` — the array-module seam under every hot kernel.
+
+Hot-path modules (the autograd substrate, the nn step kernels, the
+local-energy plan, the engine stages) never import numpy directly; they
+import the module-level :data:`xp` proxy from here and the dtype policy
+from :mod:`repro.backend.dtypes`.  ``xp`` forwards each call to the
+*active* backend's namespace:
+
+* the process-wide default is the numpy backend — bit-identical to the
+  pre-seam code, zero configuration;
+* :func:`use_backend` pushes a thread-local override, which is how the
+  engine runs each rank's iteration on the run's configured backend
+  (``--set backend.name=...``), the serving layer places each loaded model
+  version, and the benchmarks switch per row.
+
+Registered backends: ``numpy`` (default), ``mock`` (numpy + allocation /
+transfer counters — the CI oracle for the residency contract), ``torch``
+and ``cupy`` (import-gated; absent wheels raise a clear error at
+``get_backend`` time, not mid-iteration).
+"""
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.backend.core import UNTAGGED, ArrayBackend, counter_delta
+from repro.backend.mock import MockBackend
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "UNTAGGED",
+    "active_backend",
+    "counter_delta",
+    "get_backend",
+    "use_backend",
+    "xp",
+]
+
+#: spec-valid backend names (availability of the gated ones is checked at
+#: materialize time, not spec-validation time)
+BACKEND_NAMES = ("numpy", "mock", "torch", "cupy")
+
+_numpy_backend = NumpyBackend()
+_instances: dict[str, ArrayBackend] = {"numpy": _numpy_backend}
+_lock = threading.Lock()
+_active = threading.local()
+
+
+def get_backend(name: str | ArrayBackend, device: str | None = None) -> ArrayBackend:
+    """Resolve a backend by registry name (idempotent per (name, device)).
+
+    Passing an :class:`ArrayBackend` instance returns it unchanged, so call
+    sites accept either form.  Import-gated backends raise ``ImportError``
+    with installation guidance when their wheel is missing.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    key = name if device is None else f"{name}@{device}"
+    with _lock:
+        backend = _instances.get(key)
+        if backend is not None:
+            return backend
+        if name == "numpy":
+            backend = _numpy_backend
+        elif name == "mock":
+            backend = MockBackend()
+        elif name == "torch":
+            from repro.backend.torch_backend import TorchBackend
+
+            backend = TorchBackend(device)
+        elif name == "cupy":
+            from repro.backend.cupy_backend import CupyBackend
+
+            backend = CupyBackend(device)
+        else:
+            raise ValueError(
+                f"unknown array backend {name!r}; registered: {BACKEND_NAMES}"
+            )
+        _instances[key] = backend
+        return backend
+
+
+def active_backend() -> ArrayBackend:
+    """The backend ``xp`` currently forwards to (thread-local; numpy default)."""
+    stack = getattr(_active, "stack", None)
+    if stack:
+        return stack[-1]
+    return _numpy_backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | ArrayBackend, device: str | None = None):
+    """Thread-locally activate ``backend`` for the duration of the block."""
+    backend = get_backend(backend, device)
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+class _XpProxy:
+    """Module-level ``xp``: one attribute forward per call to the active
+    backend's namespace.  Hot modules bind it once at import time and stay
+    backend-agnostic — the indirection resolves per call, per thread."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(active_backend().xp, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp proxy -> {active_backend().name}>"
+
+
+xp = _XpProxy()

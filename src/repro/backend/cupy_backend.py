@@ -1,0 +1,54 @@
+"""The cupy backend (import-gated): numpy's API on a CUDA device.
+
+cupy implements the numpy namespace natively, so — unlike torch — no
+adapter layer is needed: ``xp`` *is* the cupy module and the only backend
+work is the explicit host boundary (``cupy.asnumpy`` / ``cupy.asarray``).
+Not part of the base environment; :func:`repro.backend.get_backend`
+surfaces a clear error when the wheel (and a CUDA runtime) is absent.
+"""
+from __future__ import annotations
+
+from repro.backend.core import ArrayBackend
+
+__all__ = ["CupyBackend", "cupy_available"]
+
+
+def _import_cupy():
+    try:
+        import cupy
+    except ImportError as exc:  # pragma: no cover - exercised without cupy
+        raise ImportError(
+            "backend 'cupy' requires the optional cupy wheel and a CUDA "
+            "runtime; neither is part of the base environment"
+        ) from exc
+    return cupy
+
+
+def cupy_available() -> bool:
+    try:
+        import cupy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class CupyBackend(ArrayBackend):
+    name = "cupy"
+    device_resident = True
+
+    def __init__(self, device: str | None = None):
+        cupy = _import_cupy()
+        self._cupy = cupy
+        if device is not None:
+            # "cuda:1" / "1" -> device ordinal
+            ordinal = int(str(device).rsplit(":", 1)[-1])
+            cupy.cuda.Device(ordinal).use()
+        super().__init__(cupy)
+
+    def to_host(self, arr, tag: str | None = None):
+        if isinstance(arr, self._cupy.ndarray):
+            return self._cupy.asnumpy(arr)
+        return arr
+
+    def from_host(self, arr):
+        return self._cupy.asarray(arr)

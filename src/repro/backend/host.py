@@ -1,0 +1,16 @@
+"""The explicit host-side numpy alias for hot-path modules.
+
+The backend lint (``tools/lint_backend.py``) forbids bare ``import numpy``
+/ ``np.`` in the designated hot-path modules: array math there must go
+through the active backend's ``xp`` namespace.  Some objects, however, are
+host-resident *by contract* regardless of backend — RNG streams, packed
+comm payloads, checkpoint buffers — and code touching them spells that out
+by importing ``host_np`` from here.  The distinct name is the point: a
+``host_np.`` call is a reviewed, intentional host operation, not a stray
+numpy dependency the seam missed.
+"""
+from __future__ import annotations
+
+import numpy as host_np
+
+__all__ = ["host_np"]

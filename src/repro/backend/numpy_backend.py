@@ -1,0 +1,22 @@
+"""The default backend: ``xp`` is the numpy module itself.
+
+Zero indirection on the hot path beyond one attribute forward per call —
+kernels run bit-identically to the pre-seam code because they execute the
+very same numpy functions on the very same ndarrays.  ``to_host`` /
+``from_host`` are identities (host arrays already live on the host).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    name = "numpy"
+    device_resident = False
+
+    def __init__(self):
+        super().__init__(np)

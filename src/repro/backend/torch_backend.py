@@ -1,0 +1,295 @@
+"""The torch backend: a numpy-compatible adapter over ``torch`` (import-gated).
+
+Torch is an *optional* dependency: this module imports lazily and
+:func:`repro.backend.get_backend` raises a clear error when the wheel is
+absent.  The adapter implements the numpy subset used by the autograd
+substrate and the nn kernels (the "kernel-equivalence subset" exercised by
+the optional torch-CPU CI job); it deliberately does **not** cover the
+structured-record dtypes of the compiled local-energy plan — that path is
+host-bound by design and stays on numpy/mock.
+
+Conventions translated here so kernel code never branches on the backend:
+
+* numpy scalar dtypes (``repro.backend.dtypes``) -> torch dtypes;
+* ``axis``/``keepdims`` -> ``dim``/``keepdim`` (incl. ``axis=None``);
+* creation functions default to float64 (numpy's default, not torch's
+  float32 — the repo's dtype policy is float64 everywhere);
+* ``xp.add.at`` -> ``index_put_(accumulate=True)`` scatter-add.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend
+
+__all__ = ["TorchBackend", "torch_available"]
+
+
+def _import_torch():
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - exercised without torch
+        raise ImportError(
+            "backend 'torch' requires the optional torch wheel "
+            "(pip install torch); it is not part of the base environment"
+        ) from exc
+    return torch
+
+
+def torch_available() -> bool:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class _TorchNamespace:
+    """numpy-flavored function namespace over torch."""
+
+    def __init__(self, torch, device):
+        self._torch = torch
+        self._device = device
+        self._dtype_map = {
+            np.float64: torch.float64,
+            np.float32: torch.float32,
+            np.complex128: torch.complex128,
+            np.int64: torch.int64,
+            np.int32: torch.int32,
+            np.uint8: torch.uint8,
+            np.bool_: torch.bool,
+            None: None,
+        }
+        self.pi = math.pi
+        self.ndarray = torch.Tensor
+        self.add = _ScatterAdd(self)
+
+    # ------------------------------------------------------------- plumbing
+    def _dtype(self, dtype):
+        if dtype in self._dtype_map:
+            return self._dtype_map[dtype]
+        key = np.dtype(dtype).type
+        if key not in self._dtype_map:
+            raise TypeError(f"torch backend has no mapping for dtype {dtype!r}")
+        return self._dtype_map[key]
+
+    def _as(self, x, dtype=None):
+        t = self._torch.as_tensor(x, dtype=self._dtype(dtype),
+                                  device=self._device)
+        return t
+
+    @staticmethod
+    def _dim(axis):
+        return axis
+
+    # ------------------------------------------------------------- creation
+    def asarray(self, a, dtype=None):
+        return self._as(a, dtype)
+
+    def array(self, a, dtype=None):
+        t = self._as(a, dtype)
+        return t.clone()
+
+    def ascontiguousarray(self, a, dtype=None):
+        return self._as(a, dtype).contiguous()
+
+    def zeros(self, shape, dtype=np.float64):
+        return self._torch.zeros(self._shape(shape), dtype=self._dtype(dtype),
+                                 device=self._device)
+
+    def ones(self, shape, dtype=np.float64):
+        return self._torch.ones(self._shape(shape), dtype=self._dtype(dtype),
+                                device=self._device)
+
+    def empty(self, shape, dtype=np.float64):
+        return self._torch.empty(self._shape(shape), dtype=self._dtype(dtype),
+                                 device=self._device)
+
+    def full(self, shape, fill, dtype=None):
+        if dtype is None:
+            dtype = np.int64 if isinstance(fill, int) else np.float64
+        return self._torch.full(self._shape(shape), fill,
+                                dtype=self._dtype(dtype), device=self._device)
+
+    def arange(self, *args, dtype=None):
+        if dtype is None:
+            dtype = (np.float64 if any(isinstance(a, float) for a in args)
+                     else np.int64)
+        return self._torch.arange(*args, dtype=self._dtype(dtype),
+                                  device=self._device)
+
+    @staticmethod
+    def _shape(shape):
+        return shape if isinstance(shape, (tuple, list)) else (shape,)
+
+    def zeros_like(self, a):
+        return self._torch.zeros_like(self._as(a))
+
+    def ones_like(self, a):
+        return self._torch.ones_like(self._as(a))
+
+    def eye(self, n, dtype=np.float64):
+        return self._torch.eye(n, dtype=self._dtype(dtype),
+                               device=self._device)
+
+    def triu(self, a, k=0):
+        return self._torch.triu(self._as(a), diagonal=k)
+
+    def repeat(self, a, repeats, axis=None):
+        t = self._as(a)
+        if axis is None:
+            t = t.reshape(-1)
+            axis = 0
+        return self._torch.repeat_interleave(t, repeats, dim=axis)
+
+    # ------------------------------------------------------------ structure
+    def concatenate(self, arrays, axis=0):
+        return self._torch.cat([self._as(a) for a in arrays], dim=axis)
+
+    def stack(self, arrays, axis=0):
+        return self._torch.stack([self._as(a) for a in arrays], dim=axis)
+
+    def broadcast_to(self, a, shape):
+        return self._torch.broadcast_to(self._as(a), shape)
+
+    def expand_dims(self, a, axis):
+        return self._torch.unsqueeze(self._as(a), axis)
+
+    def reshape(self, a, shape):
+        return self._as(a).reshape(shape)
+
+    def swapaxes(self, a, a1, a2):
+        return self._torch.swapaxes(self._as(a), a1, a2)
+
+    def transpose(self, a, axes=None):
+        t = self._as(a)
+        if axes is None:
+            axes = tuple(reversed(range(t.dim())))
+        return t.permute(tuple(int(x) for x in axes))
+
+    def take(self, a, indices, axis=None):
+        t = self._as(a)
+        if axis is None:
+            t = t.reshape(-1)
+            axis = 0
+        if isinstance(indices, int):
+            return t.select(axis, indices)
+        return self._torch.index_select(
+            t, axis, self._as(indices, np.int64)
+        )
+
+    def split(self, a, sections, axis=0):
+        t = self._as(a)
+        if isinstance(sections, int):
+            size = t.shape[axis] // sections
+            return list(self._torch.split(t, size, dim=axis))
+        bounds = [0] + [int(s) for s in sections] + [t.shape[axis]]
+        sizes = [b - a_ for a_, b in zip(bounds[:-1], bounds[1:])]
+        return list(self._torch.split(t, sizes, dim=axis))
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, a, axis=None, keepdims=False):
+        t = self._as(a)
+        if axis is None:
+            out = t.sum()
+            if keepdims:
+                out = out.reshape((1,) * t.dim())
+            return out
+        return t.sum(dim=axis, keepdim=keepdims)
+
+    def max(self, a, axis=None, keepdims=False):
+        t = self._as(a)
+        if axis is None:
+            out = t.amax()
+            if keepdims:
+                out = out.reshape((1,) * t.dim())
+            return out
+        return t.amax(dim=axis, keepdim=keepdims)
+
+    def mean(self, a, axis=None, keepdims=False):
+        t = self._as(a)
+        if axis is None:
+            out = t.mean()
+            if keepdims:
+                out = out.reshape((1,) * t.dim())
+            return out
+        return t.mean(dim=axis, keepdim=keepdims)
+
+    def cumsum(self, a, axis=None):
+        t = self._as(a)
+        if axis is None:
+            return t.reshape(-1).cumsum(0)
+        return t.cumsum(axis)
+
+    def argsort(self, a, axis=-1):
+        return self._torch.argsort(self._as(a), dim=axis, stable=True)
+
+    # ----------------------------------------------------------- elementwise
+    def where(self, cond, a, b):
+        cond_t = self._as(cond)
+        a_t, b_t = self._as(a), self._as(b)
+        if a_t.dtype != b_t.dtype:
+            promoted = self._torch.promote_types(a_t.dtype, b_t.dtype)
+            a_t, b_t = a_t.to(promoted), b_t.to(promoted)
+        return self._torch.where(cond_t, a_t, b_t)
+
+    def outer(self, a, b):
+        return self._torch.outer(self._as(a), self._as(b))
+
+    def __getattr__(self, name):
+        # exp/log/sqrt/tanh/sign/abs/... share names and unary signatures.
+        fn = getattr(self._torch, name, None)
+        if fn is None:
+            raise AttributeError(
+                f"torch backend namespace has no {name!r} — this code path "
+                "is host-bound; run it on the numpy or mock backend"
+            )
+        ns = self
+
+        def forward(*args, **kwargs):
+            args = tuple(ns._as(a) if isinstance(a, (np.ndarray, list))
+                         else a for a in args)
+            return fn(*args, **kwargs)
+
+        return forward
+
+
+class _ScatterAdd:
+    """``xp.add`` stand-in providing the ``at`` scatter-add ufunc method."""
+
+    def __init__(self, ns: _TorchNamespace):
+        self._ns = ns
+
+    def __call__(self, a, b):
+        return self._ns._as(a) + self._ns._as(b)
+
+    def at(self, a, idx, b):
+        ns = self._ns
+        b_t = ns._as(b, None).to(a.dtype)
+        if isinstance(idx, tuple):
+            index = tuple(ns._as(i, np.int64) for i in idx)
+        else:
+            index = (ns._as(idx, np.int64),)
+        a.index_put_(index, b_t.broadcast_to(a[tuple(index)].shape)
+                     if b_t.dim() == 0 else b_t, accumulate=True)
+
+
+class TorchBackend(ArrayBackend):
+    name = "torch"
+    device_resident = True
+
+    def __init__(self, device: str | None = None):
+        torch = _import_torch()
+        self._torch = torch
+        self.device = torch.device(device or "cpu")
+        super().__init__(_TorchNamespace(torch, self.device))
+
+    def to_host(self, arr, tag: str | None = None):
+        if isinstance(arr, self._torch.Tensor):
+            return arr.detach().cpu().numpy()
+        return arr
+
+    def from_host(self, arr):
+        return self._torch.as_tensor(arr, device=self.device)

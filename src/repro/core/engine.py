@@ -49,9 +49,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from repro.autograd import Tensor
+from repro.backend import active_backend, counter_delta, get_backend, use_backend, xp
+from repro.backend.dtypes import float64, int64, uint32, uint64
+from repro.backend.host import host_np
 from repro.core.local_energy import (
     AmplitudeTable,
     ElocPlan,
@@ -197,6 +198,11 @@ class VMCStats:
     # Wire bytes actually moved (<= comm_bytes with the codec on); None on
     # serial iterations and on histories recorded before the split existed.
     comm_bytes_wire: int | None = None
+    # Array-backend transfer/allocation counters (instrumented backends only;
+    # None on the numpy backend).  Observability data: excluded from equality,
+    # from stats_record (metrics.jsonl stays bit-identical across backends)
+    # and from checkpoints; surfaced through report.json's backend section.
+    transfers: dict | None = field(default=None, compare=False)
 
 
 def stats_record(stats: VMCStats) -> dict:
@@ -234,7 +240,7 @@ def stats_record(stats: VMCStats) -> dict:
 # --------------------------------------------------------------------------
 # Stage functions (the one implementation every backend schedules)
 # --------------------------------------------------------------------------
-def stage_sample(wf, n_samples: int, rng: np.random.Generator,
+def stage_sample(wf, n_samples: int, rng: host_np.random.Generator,
                  sampler: Callable | None = None) -> SampleBatch:
     """Stage 1, single rank: one BAS sweep (or a custom sampler hook)."""
     sample = sampler or batch_autoregressive_sample
@@ -255,24 +261,24 @@ def stage_sample_parallel(wf, n_samples: int, seed: int, iteration: int,
     from repro.parallel.partition import split_tree_state
 
     rank, size = comm.Get_rank(), comm.Get_size()
-    shared_rng = np.random.default_rng((seed, iteration, 0xBA5))
+    shared_rng = host_np.random.default_rng((seed, iteration, 0xBA5))
     state = bas_prefix_sweep(wf, n_samples, shared_rng, nu_star)
     my_state = split_tree_state(state, size)[rank]
-    cont_rng = np.random.default_rng((seed, iteration, rank + 1))
+    cont_rng = host_np.random.default_rng((seed, iteration, rank + 1))
     return batch_autoregressive_sample(wf, 0, cont_rng, start=my_state)
 
 
-def _counts_array(weights: np.ndarray) -> np.ndarray:
+def _counts_array(weights):
     """Integer multiplicities at natural width: uint32 when they fit (the
     common case — counts are bounded by the per-rank sample budget), uint64
     for the paper's N_s -> 1e12 tail."""
     if weights.size and int(weights.max()) > 0xFFFFFFFF:
-        return weights.astype(np.uint64)
-    return weights.astype(np.uint32)
+        return weights.astype(uint64)
+    return weights.astype(uint32)
 
 
 def stage_gather_table(comm, wf, local: SampleBatch, *, codec: bool = True,
-                       baseline: np.ndarray | None = None):
+                       baseline=None):
     """Stage 2: Allgather the unique sets; build the global amplitude table.
 
     Returns ``(keys, weights, table)`` with the global unique set lexsorted —
@@ -295,17 +301,22 @@ def stage_gather_table(comm, wf, local: SampleBatch, *, codec: bool = True,
     encoding.
     """
     local_keys = pack_bits(local.bits)
-    local_amps = wf.log_amplitudes(local.bits)
+    # The stage-2 comm boundary: log-amplitudes leave the device exactly once
+    # per rank and iteration, entering the host-resident global table (and,
+    # multi-rank, the stage2_amps collective).
+    local_amps = active_backend().to_host(
+        wf.log_amplitudes(local.bits), tag="stage2.amps"
+    )
     if comm.Get_size() == 1:
         order = lexsort_keys(local_keys)
         keys = local_keys[order]
-        weights = local.weights.astype(np.int64)[order]
+        weights = local.weights.astype(int64)[order]
         amps = local_amps[order]
         return keys, weights, AmplitudeTable(keys=keys, log_amps=amps)
 
     order = lexsort_keys(local_keys)
     skeys = local_keys[order]
-    sweights = local.weights.astype(np.int64)[order]
+    sweights = local.weights.astype(int64)[order]
     samps = local_amps[order]
     rank = comm.Get_rank()
     if codec and hasattr(comm, "allgather_blob"):
@@ -331,20 +342,20 @@ def stage_gather_table(comm, wf, local: SampleBatch, *, codec: bool = True,
         counts = _counts_array(sweights)
         key_parts = comm.allgather_ndarray(skeys, channel="stage2_samples")
         weight_parts = [
-            c.astype(np.int64)
+            c.astype(int64)
             for c in comm.allgather_ndarray(counts, channel="stage2_samples")
         ]
     amp_parts = comm.allgather_ndarray(samps, channel="stage2_amps")
-    keys = np.concatenate(key_parts, axis=0)
-    weights = np.concatenate(weight_parts)
-    amps = np.concatenate(amp_parts)
+    keys = xp.concatenate(key_parts, axis=0)
+    weights = xp.concatenate(weight_parts)
+    amps = xp.concatenate(amp_parts)
     order = lexsort_keys(keys)
     keys, weights, amps = keys[order], weights[order], amps[order]
     return keys, weights, AmplitudeTable(keys=keys, log_amps=amps)
 
 
-def stage_partition(weights: np.ndarray, n_ranks: int,
-                    mode: str = "balanced") -> list[np.ndarray]:
+def stage_partition(weights, n_ranks: int,
+                    mode: str = "balanced") -> list:
     """Stage 3 prologue: split the global unique set into per-rank chunks.
 
     ``balanced`` (default) reuses the Sec. 3.3 weight-balancing heuristic —
@@ -362,7 +373,7 @@ def stage_partition(weights: np.ndarray, n_ranks: int,
         )
     n = len(weights)
     return [
-        np.arange(r * n // n_ranks, (r + 1) * n // n_ranks, dtype=np.int64)
+        xp.arange(r * n // n_ranks, (r + 1) * n // n_ranks, dtype=int64)
         for r in range(n_ranks)
     ]
 
@@ -370,7 +381,7 @@ def stage_partition(weights: np.ndarray, n_ranks: int,
 def stage_local_energy(wf, comp, chunk: SampleBatch, table: AmplitudeTable,
                        config: VMCConfig,
                        plan: ElocPlan | None = None,
-                       kernel: Callable | None = None) -> np.ndarray:
+                       kernel: Callable | None = None):
     """Stage 3: local energies of one chunk against the global table.
 
     The batch kernel is resolved by name from the eloc_kernel registry
@@ -396,9 +407,8 @@ def stage_local_energy(wf, comp, chunk: SampleBatch, table: AmplitudeTable,
     )
 
 
-def stage_backward(wf, chunk: SampleBatch, w_norm: np.ndarray,
-                   eloc: np.ndarray, e_mean: float,
-                   e_imag: float) -> np.ndarray:
+def stage_backward(wf, chunk: SampleBatch, w_norm,
+                   eloc, e_mean: float, e_imag: float):
     """Stage 5: Eq. 7 surrogate loss + backward; returns the flat gradient.
 
     grad = E_p[ Re(E_loc - E) grad log pi(x) ] + 2 E_p[ Im(E_loc - E) grad phi(x) ]
@@ -415,16 +425,16 @@ def stage_backward(wf, chunk: SampleBatch, w_norm: np.ndarray,
     return wf.get_flat_grads()
 
 
-def stage_update(engine, grad: np.ndarray) -> None:
+def stage_update(engine, grad) -> None:
     """Stage 6 epilogue: clip -> Eq. 13 schedule -> AdamW step, on the master.
 
     The single implementation of the parameter update; backends hand the
     engine one reduced gradient and never touch the optimizer themselves.
     """
-    grad = np.asarray(grad)
+    grad = xp.asarray(grad)
     clip = engine.config.grad_clip
     if clip is not None:
-        norm = np.linalg.norm(grad)
+        norm = xp.linalg.norm(grad)
         if norm > clip:
             grad = grad * (clip / norm)
     engine.wf.set_flat_grads(grad)
@@ -443,7 +453,32 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
     stage consumes the engine's persistent RNG, the collectives are
     identities, and the chunk is the whole unique set — which is what makes
     ``ThreadBackend(n_ranks=1)`` bit-identical to :class:`SerialBackend`.
+
+    The whole body runs under the engine's array backend (``use_backend``),
+    so every ``xp`` allocation in the stages lands on it.  On instrumented
+    backends the counters are snapshotted around stage 1, and the per-rank
+    deltas ship back as ``out['transfers']`` — the data behind the residency
+    contract's "zero unplanned host transfers inside the sampling loop".
     """
+    array_backend = getattr(engine, "array_backend", None) or get_backend("numpy")
+    with use_backend(array_backend):
+        snap0 = array_backend.counter_snapshot()
+        out, snap1 = _rank_iteration_stages(
+            engine, comm, wf, rng, nu_star, eloc_partition
+        )
+        snap2 = array_backend.counter_snapshot()
+    sampling = counter_delta(snap0, snap1)
+    if sampling is not None:
+        out["transfers"] = {
+            "sampling": sampling,
+            "post_sampling": counter_delta(snap1, snap2),
+        }
+    return out
+
+
+def _rank_iteration_stages(engine, comm, wf, rng, nu_star: int,
+                           eloc_partition: str) -> tuple[dict, dict | None]:
+    """Stages 1-6 proper; returns ``(out, post-stage-1 counter snapshot)``."""
     cfg: VMCConfig = engine.config
     size = comm.Get_size()
     rank = comm.Get_rank()
@@ -464,6 +499,7 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
             wf, n_samples, cfg.seed, engine.iteration, nu_star, comm
         )
     times["sampling"] = time.perf_counter() - t0
+    snap_sampled = active_backend().counter_snapshot()
 
     # ---- stage 2: allgather + global amplitude table -----------------------
     codec = bool(getattr(engine.backend, "comm_codec", True))
@@ -486,9 +522,9 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
     times["local_energy"] = time.perf_counter() - t0
 
     # ---- stage 4: allreduce the weighted energy sums -----------------------
-    w_chunk = chunk.weights.astype(np.float64)
-    local_sums = np.array(
-        [np.sum(w_chunk * eloc.real), np.sum(w_chunk * eloc.imag), w_chunk.sum()]
+    w_chunk = chunk.weights.astype(float64)
+    local_sums = xp.array(
+        [xp.sum(w_chunk * eloc.real), xp.sum(w_chunk * eloc.imag), w_chunk.sum()]
     )
     sums = comm.allreduce_sum(local_sums)
     e_mean = sums[0] / sums[2]
@@ -500,8 +536,12 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
     times["gradient"] = time.perf_counter() - t0
 
     # ---- stage 6: one allreduce for the gradient + centered 2nd moment -----
-    var_local = np.array([np.sum(w_chunk * (eloc.real - e_mean) ** 2)])
-    fused = np.concatenate([grad, var_local])
+    var_local = xp.array([xp.sum(w_chunk * (eloc.real - e_mean) ** 2)])
+    # The stage-6 comm boundary: the fused gradient + variance payload leaves
+    # the device exactly once per rank and iteration, entering the allreduce.
+    fused = active_backend().to_host(
+        xp.concatenate([grad, var_local]), tag="stage6.grad"
+    )
     if hasattr(comm, "allreduce_ndarray"):
         packed = comm.allreduce_ndarray(fused, channel="stage6_grads")
     else:
@@ -527,13 +567,13 @@ def _rank_iteration(engine, comm, wf, rng, nu_star: int,
         # is a separate host-resident engine and must retain its own copy to
         # decode peers' delta-encoded payloads next iteration.
         out["global_keys"] = keys
-    return out
+    return out, snap_sampled
 
 
 class _SoloComm:
     """Size-1 communicator with FakeComm's surface and identical arithmetic.
 
-    ``allreduce_sum`` uses the same ``np.sum([x], axis=0)`` expression as
+    ``allreduce_sum`` uses the same ``sum([x], axis=0)`` expression as
     :class:`~repro.parallel.fake_mpi.FakeComm`, so a serial iteration and a
     one-thread-rank iteration reduce bit-identically.
     """
@@ -548,16 +588,16 @@ class _SoloComm:
         return [payload]
 
     def allgather_ndarray(self, array, channel=None) -> list:
-        return [np.asarray(array)]
+        return [xp.asarray(array)]
 
     def allgather_blob(self, data, logical_bytes=None, channel=None) -> list:
         return [bytes(data)]
 
-    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
-        return np.sum([np.asarray(array)], axis=0)
+    def allreduce_sum(self, array):
+        return xp.sum([xp.asarray(array)], axis=0)
 
-    def allreduce_ndarray(self, array, channel=None) -> np.ndarray:
-        return np.sum([np.asarray(array)], axis=0)
+    def allreduce_ndarray(self, array, channel=None):
+        return xp.sum([xp.asarray(array)], axis=0)
 
     def bcast(self, array, root: int = 0):
         return array
@@ -638,7 +678,7 @@ class ThreadBackend(ExecutionBackend):
         self.replicas: list | None = None
         self.last_comm_stats = None
 
-    def _sync_replicas(self, engine) -> np.ndarray:
+    def _sync_replicas(self, engine):
         if self.replicas is None:
             self.replicas = [
                 copy.deepcopy(engine.wf) for _ in range(self.n_ranks)
@@ -735,6 +775,26 @@ class ProcessBackend(ExecutionBackend):
 # --------------------------------------------------------------------------
 # The engine step: backend-scheduled stages + the single update
 # --------------------------------------------------------------------------
+def _merge_transfers(results: list) -> dict | None:
+    """Sum the per-rank counter deltas (None unless a rank was instrumented)."""
+    deltas = [r.get("transfers") for r in results if r.get("transfers")]
+    if not deltas:
+        return None
+
+    def merge(into: dict, part: dict) -> dict:
+        for k, v in part.items():
+            if isinstance(v, dict):
+                into[k] = merge(dict(into.get(k, {})), v)
+            else:
+                into[k] = into.get(k, 0) + v
+        return into
+
+    merged: dict = {}
+    for d in deltas:
+        merge(merged, d)
+    return merged
+
+
 def execute_iteration(engine) -> VMCStats:
     """One full VMC iteration of ``engine`` on its backend.
 
@@ -778,4 +838,5 @@ def execute_iteration(engine) -> VMCStats:
             else [r["n_local_unique"] for r in results]
         ),
         comm_bytes_wire=comm_wire,
+        transfers=_merge_transfers(results),
     )

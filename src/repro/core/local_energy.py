@@ -24,7 +24,7 @@ measured speedups are cumulative, not independent:
 * ``local_energy_planned``    — + compiled :class:`ElocPlan`: all
   Hamiltonian-static work (group sizes, CSR chunk scaffolds, the packed
   record dtype behind the binary search) is hoisted out of the per-call
-  path, coupled keys are deduplicated per chunk with ``np.unique`` so each
+  path, coupled keys are deduplicated per chunk with ``xp.unique`` so each
   unique x' hits the LUT binary search once, and per-thread workspaces are
   reused across iterations.  Bit-identical to ``local_energy_vectorized``
   (the dedup changes *where* an index is computed, never its value).
@@ -43,8 +43,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from inspect import signature
 
-import numpy as np
-
+from repro.backend import xp
+from repro.backend.dtypes import bool_, complex128, int64, uint64
 from repro.core.sampler import SampleBatch
 from repro.core.wavefunction import NNQSWavefunction
 from repro.hamiltonian.compressed import (
@@ -84,8 +84,8 @@ __all__ = [
 class AmplitudeTable:
     """The id_lut / wf_lut pair of Algorithm 2 (sorted keys + log amplitudes)."""
 
-    keys: np.ndarray       # (U, W) uint64, lexsorted
-    log_amps: np.ndarray   # (U,) complex128 — log Psi of each key
+    keys: xp.ndarray       # (U, W) uint64, lexsorted
+    log_amps: xp.ndarray   # (U,) complex128 — log Psi of each key
 
     @property
     def n_entries(self) -> int:
@@ -126,18 +126,18 @@ def normalize_amplitude_table(table: AmplitudeTable) -> AmplitudeTable:
     # ufunc, so the word loop below is the comparison; it must stay
     # consistent with lexsort_keys / searchsorted_keys.
     prev, cur = keys[:-1], keys[1:]
-    gt = np.zeros(len(keys) - 1, dtype=bool)   # prev > cur so far (majors)
-    strictly_less = np.zeros(len(keys) - 1, dtype=bool)
+    gt = xp.zeros(len(keys) - 1, dtype=bool_)   # prev > cur so far (majors)
+    strictly_less = xp.zeros(len(keys) - 1, dtype=bool_)
     for w in range(keys.shape[1] - 1, -1, -1):
         strictly_less |= (~gt) & (prev[:, w] < cur[:, w])
         gt |= (~strictly_less) & (prev[:, w] > cur[:, w])
-    if bool(np.all(strictly_less)):
+    if bool(xp.all(strictly_less)):
         return table
     order = lexsort_keys(keys)
     keys = keys[order]
     amps = table.log_amps[order]
-    keep = np.ones(len(keys), dtype=bool)
-    keep[1:] = np.any(keys[1:] != keys[:-1], axis=1)
+    keep = xp.ones(len(keys), dtype=bool_)
+    keep[1:] = xp.any(keys[1:] != keys[:-1], axis=1)
     return AmplitudeTable(keys=keys[keep], log_amps=amps[keep])
 
 
@@ -162,10 +162,10 @@ def merge_amplitude_tables(a: AmplitudeTable, b: AmplitudeTable) -> AmplitudeTab
     if b.n_entries == 0:
         return a
     dup = searchsorted_keys(a.keys, b.keys) >= 0
-    if np.all(dup):
+    if xp.all(dup):
         return a
-    keys = np.concatenate([a.keys, b.keys[~dup]], axis=0)
-    amps = np.concatenate([a.log_amps, b.log_amps[~dup]])
+    keys = xp.concatenate([a.keys, b.keys[~dup]], axis=0)
+    amps = xp.concatenate([a.log_amps, b.log_amps[~dup]])
     order = lexsort_keys(keys)
     return AmplitudeTable(keys=keys[order], log_amps=amps[order])
 
@@ -211,15 +211,15 @@ def extend_amplitude_table(
         flips = (
             keys[s0 : s0 + row_chunk, None, :] ^ comp.xy_unique[None, :, :]
         ).reshape(-1, n_words)
-        flips = np.unique(flips, axis=0)
+        flips = xp.unique(flips, axis=0)
         miss = flips[searchsorted_keys(table.keys, flips) < 0]
         if len(miss):
             missing_parts.append(miss)
     if not missing_parts:
         return table
-    missing = np.concatenate(missing_parts, axis=0)
+    missing = xp.concatenate(missing_parts, axis=0)
     if len(missing_parts) > 1:
-        missing = np.unique(missing, axis=0)  # dedup across row chunks
+        missing = xp.unique(missing, axis=0)  # dedup across row chunks
     bits = unpack_bits(missing, comp.n_qubits)
     if wf.constraint is not None:
         bits = bits[wf.constraint.validate_bits(bits)]
@@ -240,12 +240,12 @@ def extend_amplitude_table(
             n_words, comp.n_groups, comp.n_groups, len(bits),
             memory_budget_bytes,
         ))
-        log_amps = np.concatenate([
+        log_amps = xp.concatenate([
             wf.log_amplitudes(bits[e0 : e0 + eval_chunk])
             for e0 in range(0, len(bits), eval_chunk)
         ])
-    all_keys = np.concatenate([table.keys, pack_bits(bits)], axis=0)
-    all_amps = np.concatenate([table.log_amps, log_amps])
+    all_keys = xp.concatenate([table.keys, pack_bits(bits)], axis=0)
+    all_amps = xp.concatenate([table.log_amps, log_amps])
     order = lexsort_keys(all_keys)
     return AmplitudeTable(keys=all_keys[order], log_amps=all_amps[order])
 
@@ -257,7 +257,7 @@ def local_energy_baseline(
     ref: ReferenceHamiltonianData,
     batch: SampleBatch,
     amp_dict: dict[int, complex],
-) -> np.ndarray:
+) -> xp.ndarray:
     """The "bare CPU" level of Fig. 10: per-term Python loops, no SA/FUSE/LUT."""
     n_words = ref.xy.shape[1]
     # Per-term integer masks and Y phases (independent of the samples).
@@ -270,7 +270,7 @@ def local_energy_baseline(
         a_masks.append(a)
         b_masks.append(b)
         phases.append((-1.0) ** (ref.y_occ[k] // 2))
-    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    eloc = xp.zeros(batch.n_unique, dtype=complex128)
     keys = pack_bits(batch.bits)
     for s in range(batch.n_unique):
         x = 0
@@ -282,16 +282,16 @@ def local_energy_baseline(
         # the O(N_h) memory footprint Sec. 3.4 method (2) eliminates).
         coupled: list[tuple[int, float]] = []
         for k in range(ref.n_terms):
-            xp = x ^ a_masks[k]
+            x2 = x ^ a_masks[k]
             sign = -1.0 if bin(b_masks[k] & x).count("1") % 2 else 1.0
-            coupled.append((xp, ref.coeffs[k] * phases[k] * sign))
+            coupled.append((x2, ref.coeffs[k] * phases[k] * sign))
         # No SA dedup: every record triggers its own amplitude lookup (the
         # compressed structure would visit each unique x' exactly once).
         acc = 0.0 + 0.0j
-        for xp, coef in coupled:
-            la = amp_dict.get(xp)
+        for x2, coef in coupled:
+            la = amp_dict.get(x2)
             if la is not None:
-                acc += coef * np.exp(la - la_x)
+                acc += coef * xp.exp(la - la_x)
         eloc[s] = acc + ref.constant
     return eloc
 
@@ -308,7 +308,7 @@ def local_energy_sa_fuse(
     comp: CompressedHamiltonian,
     batch: SampleBatch,
     amp_dict: dict[int, complex],
-) -> np.ndarray:
+) -> xp.ndarray:
     """Methods (2)+(4): fused accumulation over compressed XY groups.
 
     Configurations are handled in the paper's pre-LUT representation —
@@ -329,30 +329,30 @@ def local_energy_sa_fuse(
     bool_dict: dict[bytes, complex] = {}
     if amp_dict:
         items = list(amp_dict.items())
-        key_arr = np.array([k for k, _ in items], dtype=object)
+        key_arr = xp.array([k for k, _ in items], dtype=object)
         n_words = (n + 63) // 64
         mask64 = (1 << 64) - 1
-        packed = np.zeros((len(items), n_words), dtype=np.uint64)
+        packed = xp.zeros((len(items), n_words), dtype=uint64)
         for w in range(n_words):
-            packed[:, w] = ((key_arr >> (64 * w)) & mask64).astype(np.uint64)
+            packed[:, w] = ((key_arr >> (64 * w)) & mask64).astype(uint64)
         key_bits = _unpack(packed, n)             # (U, N) uint8, vectorized
         for i, (_, la) in enumerate(items):
             bool_dict[key_bits[i].tobytes()] = la
-    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    eloc = xp.zeros(batch.n_unique, dtype=complex128)
     for s in range(batch.n_unique):
         x_bits = batch.bits[s]
         la_x = bool_dict[x_bits.tobytes()]
         acc = 0.0 + 0.0j
         for g in range(len(xy_bits)):
-            xp = np.bitwise_xor(x_bits, xy_bits[g])
-            la = bool_dict.get(xp.tobytes())
+            x2 = xp.bitwise_xor(x_bits, xy_bits[g])
+            la = bool_dict.get(x2.tobytes())
             if la is None:
                 continue  # sample-aware: skip configurations outside S
             coef = 0.0
             for k in range(idxs[g], idxs[g + 1]):
-                par = int(np.bitwise_and(x_bits, yz_bits[k]).sum()) & 1
+                par = int(xp.bitwise_and(x_bits, yz_bits[k]).sum()) & 1
                 coef += -coeffs[k] if par else coeffs[k]
-            acc += coef * np.exp(la - la_x)
+            acc += coef * xp.exp(la - la_x)
         eloc[s] = acc + comp.constant
     return eloc
 
@@ -378,14 +378,14 @@ def local_energy_sa_fuse_lut(
     batch: SampleBatch,
     table: AmplitudeTable,
     views=None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Method (5) added: packed u64 keys, ``bisect`` = Algorithm 2's binary_find."""
     xy, yz, id_lut, wf_lut = views if views is not None else prepare_scalar_views(comp, table)
     idxs = comp.idxs
     coeffs = comp.coeffs_buf
     keys = pack_bits(batch.bits)
     n_words = keys.shape[1]
-    eloc = np.zeros(batch.n_unique, dtype=np.complex128)
+    eloc = xp.zeros(batch.n_unique, dtype=complex128)
     n_entries = len(id_lut)
     for s in range(batch.n_unique):
         x = 0
@@ -395,14 +395,14 @@ def local_energy_sa_fuse_lut(
         la_x = wf_lut[pos]
         acc = 0.0 + 0.0j
         for g in range(len(xy)):
-            xp = x ^ xy[g]
-            pos = bisect_left(id_lut, xp)
-            if pos >= n_entries or id_lut[pos] != xp:
+            x2 = x ^ xy[g]
+            pos = bisect_left(id_lut, x2)
+            if pos >= n_entries or id_lut[pos] != x2:
                 continue
             coef = 0.0
             for k in range(idxs[g], idxs[g + 1]):
                 coef += coeffs[k] if bin(x & yz[k]).count("1") % 2 == 0 else -coeffs[k]
-            acc += coef * np.exp(wf_lut[pos] - la_x)
+            acc += coef * xp.exp(wf_lut[pos] - la_x)
         eloc[s] = acc + comp.constant
     return eloc
 
@@ -439,7 +439,7 @@ def local_energy_vectorized(
     group_chunk: int = 512,
     sample_chunk: int = 4096,
     memory_budget_bytes: int | None = None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Vectorized SA+FUSE+LUT kernel; chunked to bound peak memory.
 
     The double chunking mirrors the paper's two-level parallelization: the
@@ -455,26 +455,26 @@ def local_energy_vectorized(
         memory_budget_bytes,
     )
     idx_self = searchsorted_keys(table.keys, keys_all)
-    if np.any(idx_self < 0):
+    if xp.any(idx_self < 0):
         raise ValueError("amplitude table must contain every sample")
     la_self_all = table.log_amps[idx_self]
 
-    eloc = np.full(batch.n_unique, comp.constant, dtype=np.complex128)
-    group_sizes = np.diff(comp.idxs).astype(np.int64)
+    eloc = xp.full(batch.n_unique, comp.constant, dtype=complex128)
+    group_sizes = xp.diff(comp.idxs).astype(int64)
 
     for s0 in range(0, batch.n_unique, sample_chunk):
         s1 = min(s0 + sample_chunk, batch.n_unique)
         keys = keys_all[s0:s1]
         la_x = la_self_all[s0:s1]
         b = s1 - s0
-        acc = np.zeros(b, dtype=np.complex128)
+        acc = xp.zeros(b, dtype=complex128)
         for g0 in range(0, comp.n_groups, group_chunk):
             g1 = min(g0 + group_chunk, comp.n_groups)
             # Coupled configurations + lookup (cheap: XOR + binary search).
             flips = keys[:, None, :] ^ comp.xy_unique[None, g0:g1, :]
             idx = searchsorted_keys(table.keys, flips.reshape(-1, keys.shape[1]))
             idx = idx.reshape(b, g1 - g0)
-            s_hit, g_hit = np.nonzero(idx >= 0)
+            s_hit, g_hit = xp.nonzero(idx >= 0)
             if len(s_hit) == 0:
                 continue
             # Coefficients only for the (sample, group) pairs actually found —
@@ -484,19 +484,19 @@ def local_energy_vectorized(
             starts = comp.idxs[g_abs]
             # term index array: concat of [starts_p, starts_p + sizes_p)
             total = int(sizes.sum())
-            term_idx = np.repeat(starts, sizes) + (
-                np.arange(total) - np.repeat(np.cumsum(sizes) - sizes, sizes)
+            term_idx = xp.repeat(starts, sizes) + (
+                xp.arange(total) - xp.repeat(xp.cumsum(sizes) - sizes, sizes)
             )
-            pair_of_term = np.repeat(np.arange(len(s_hit)), sizes)
+            pair_of_term = xp.repeat(xp.arange(len(s_hit)), sizes)
             par = (
                 parity64(keys[s_hit][pair_of_term] & comp.yz_buf[term_idx]).sum(axis=1)
                 & 1
             )
             signed = comp.coeffs_buf[term_idx] * (1.0 - 2.0 * par)
-            coef = np.bincount(pair_of_term, weights=signed, minlength=len(s_hit))
-            ratios = np.exp(table.log_amps[idx[s_hit, g_hit]] - la_x[s_hit])
+            coef = xp.bincount(pair_of_term, weights=signed, minlength=len(s_hit))
+            ratios = xp.exp(table.log_amps[idx[s_hit, g_hit]] - la_x[s_hit])
             contrib = coef * ratios
-            acc += np.bincount(s_hit, weights=contrib.real, minlength=b) + 1j * np.bincount(
+            acc += xp.bincount(s_hit, weights=contrib.real, minlength=b) + 1j * xp.bincount(
                 s_hit, weights=contrib.imag, minlength=b
             )
         eloc[s0:s1] += acc
@@ -518,9 +518,9 @@ class _GroupChunkScaffold:
 
     g0: int
     g1: int
-    xy: np.ndarray       # (gc, W) uint64, contiguous copy of the flip masks
-    starts: np.ndarray   # (gc,) int64 — comp.idxs[g0:g1]
-    sizes: np.ndarray    # (gc,) int64 — terms per group
+    xy: xp.ndarray       # (gc, W) uint64, contiguous copy of the flip masks
+    starts: xp.ndarray   # (gc,) int64 — comp.idxs[g0:g1]
+    sizes: xp.ndarray    # (gc,) int64 — terms per group
 
 
 class ElocPlan:
@@ -541,7 +541,7 @@ class ElocPlan:
 
     :meth:`local_energy` is the planned kernel: identical arithmetic to
     :func:`local_energy_vectorized` except that the coupled keys of each
-    chunk are deduplicated with ``np.unique(..., return_inverse=True)``
+    chunk are deduplicated with ``xp.unique(..., return_inverse=True)``
     before the LUT binary search, so each unique x' is looked up once per
     chunk (sampled batches are concentrated, so flip rows repeat heavily
     across samples).  Results are bit-identical: dedup changes where an
@@ -568,32 +568,32 @@ class ElocPlan:
         self.sample_chunk = sample_chunk
         self.memory_budget_bytes = memory_budget_bytes
         self.n_words = (comp.n_qubits + 63) // 64
-        self.group_sizes = np.diff(comp.idxs).astype(np.int64)
+        self.group_sizes = xp.diff(comp.idxs).astype(int64)
         self.chunks: list[_GroupChunkScaffold] = []
         for g0 in range(0, comp.n_groups, group_chunk):
             g1 = min(g0 + group_chunk, comp.n_groups)
             self.chunks.append(_GroupChunkScaffold(
                 g0=g0, g1=g1,
-                xy=np.ascontiguousarray(comp.xy_unique[g0:g1]),
-                starts=np.ascontiguousarray(comp.idxs[g0:g1]).astype(np.int64),
-                sizes=np.ascontiguousarray(self.group_sizes[g0:g1]),
+                xy=xp.ascontiguousarray(comp.xy_unique[g0:g1]),
+                starts=xp.ascontiguousarray(comp.idxs[g0:g1]).astype(int64),
+                sizes=xp.ascontiguousarray(self.group_sizes[g0:g1]),
             ))
         # The searchsorted_keys record dtype, compiled once (multi-word keys
         # compare with the *last* word most significant — see lexsort_keys).
         self._record_dtype = (
             None if self.n_words == 1
-            else np.dtype([(f"w{i}", np.uint64) for i in range(self.n_words)])
+            else xp.dtype([(f"w{i}", uint64) for i in range(self.n_words)])
         )
         self._local = threading.local()
 
     # ------------------------------------------------------------ record keys
-    def _as_records(self, keys: np.ndarray) -> np.ndarray:
+    def _as_records(self, keys: xp.ndarray) -> xp.ndarray:
         """``(M, W)`` uint64 rows -> ``(M,)`` scalar/record keys (LUT order)."""
         if self.n_words == 1:
-            return np.ascontiguousarray(keys[:, 0])
-        return np.ascontiguousarray(keys[:, ::-1]).view(self._record_dtype).ravel()
+            return xp.ascontiguousarray(keys[:, 0])
+        return xp.ascontiguousarray(keys[:, ::-1]).view(self._record_dtype).ravel()
 
-    def _table_records(self, table: AmplitudeTable) -> np.ndarray:
+    def _table_records(self, table: AmplitudeTable) -> xp.ndarray:
         """Record view of ``table.keys``, cached until the table changes.
 
         Keyed by object identity through a weakref: a new table object (new
@@ -607,32 +607,32 @@ class ElocPlan:
         self._local.table_cache = (weakref.ref(table), records)
         return records
 
-    def _flip_buffer(self, rows: int, groups: int) -> np.ndarray:
+    def _flip_buffer(self, rows: int, groups: int) -> xp.ndarray:
         """A ``(rows, groups, W)`` view of the per-thread XOR workspace."""
         need = rows * groups * self.n_words
         buf = getattr(self._local, "flip_buf", None)
         if buf is None or buf.size < need:
-            buf = np.empty(need, dtype=np.uint64)
+            buf = xp.empty(need, dtype=uint64)
             self._local.flip_buf = buf
         return buf[:need].reshape(rows, groups, self.n_words)
 
     # -------------------------------------------------------------- lookups
-    def _lookup(self, table: AmplitudeTable, keys: np.ndarray) -> np.ndarray:
+    def _lookup(self, table: AmplitudeTable, keys: xp.ndarray) -> xp.ndarray:
         """Plain binary search of ``(M, W)`` keys (same contract as
         :func:`searchsorted_keys`, against the cached record view)."""
         base = self._table_records(table)
         if len(base) == 0:
-            return np.full(len(keys), -1, dtype=np.int64)
+            return xp.full(len(keys), -1, dtype=int64)
         rec = self._as_records(keys)
-        pos = np.minimum(np.searchsorted(base, rec), len(base) - 1)
-        return np.where(base[pos] == rec, pos, -1).astype(np.int64, copy=False)
+        pos = xp.minimum(xp.searchsorted(base, rec), len(base) - 1)
+        return xp.where(base[pos] == rec, pos, -1).astype(int64, copy=False)
 
     # Below this LUT size the dedup sort costs more than it saves: the
     # binary search into an L1-resident table is already ~free, so the
-    # O(M log M) ``np.unique`` would dominate.  Index-identical either way.
+    # O(M log M) ``xp.unique`` would dominate.  Index-identical either way.
     DEDUP_MIN_TABLE = 4096
 
-    def _lookup_dedup(self, table: AmplitudeTable, keys: np.ndarray) -> np.ndarray:
+    def _lookup_dedup(self, table: AmplitudeTable, keys: xp.ndarray) -> xp.ndarray:
         """Binary search with coupled-key dedup: unique rows are searched
         once, then scattered back through the inverse map.  Index-identical
         to :meth:`_lookup` (and to :func:`searchsorted_keys`).
@@ -644,17 +644,17 @@ class ElocPlan:
         """
         base = self._table_records(table)
         if len(base) == 0:
-            return np.full(len(keys), -1, dtype=np.int64)
+            return xp.full(len(keys), -1, dtype=int64)
         if len(base) < self.DEDUP_MIN_TABLE:
             return self._lookup(table, keys)
         rec = self._as_records(keys)
-        uniq, inverse = np.unique(rec, return_inverse=True)
-        pos = np.minimum(np.searchsorted(base, uniq), len(base) - 1)
-        idx_u = np.where(base[pos] == uniq, pos, -1).astype(np.int64, copy=False)
+        uniq, inverse = xp.unique(rec, return_inverse=True)
+        pos = xp.minimum(xp.searchsorted(base, uniq), len(base) - 1)
+        idx_u = xp.where(base[pos] == uniq, pos, -1).astype(int64, copy=False)
         return idx_u[inverse.ravel()]
 
     @staticmethod
-    def _fold_parity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def _fold_parity(a: xp.ndarray, b: xp.ndarray) -> xp.ndarray:
         """Rowwise ``popcount(a & b) mod 2`` for ``(T, W)`` uint64 rows.
 
         parity of a multi-word AND = parity of the XOR of its words, folded
@@ -666,11 +666,11 @@ class ElocPlan:
         for w in range(1, a.shape[1]):
             x = x ^ (a[:, w] & b[:, w])
         for s in (32, 16, 8, 4, 2, 1):
-            x = x ^ (x >> np.uint64(s))
-        return (x & np.uint64(1)).astype(np.int64)
+            x = x ^ (x >> uint64(s))
+        return (x & uint64(1)).astype(int64)
 
     # --------------------------------------------------------------- kernel
-    def local_energy(self, batch: SampleBatch, table: AmplitudeTable) -> np.ndarray:
+    def local_energy(self, batch: SampleBatch, table: AmplitudeTable) -> xp.ndarray:
         """The planned kernel — bit-identical to ``local_energy_vectorized``."""
         comp = self.comp
         keys_all = pack_bits(batch.bits)
@@ -684,42 +684,42 @@ class ElocPlan:
             self.memory_budget_bytes,
         )
         idx_self = self._lookup(table, keys_all)
-        if np.any(idx_self < 0):
+        if xp.any(idx_self < 0):
             raise ValueError("amplitude table must contain every sample")
         la_self_all = table.log_amps[idx_self]
 
-        eloc = np.full(batch.n_unique, comp.constant, dtype=np.complex128)
+        eloc = xp.full(batch.n_unique, comp.constant, dtype=complex128)
         for s0 in range(0, batch.n_unique, sample_chunk):
             s1 = min(s0 + sample_chunk, batch.n_unique)
             keys = keys_all[s0:s1]
             la_x = la_self_all[s0:s1]
             b = s1 - s0
-            acc = np.zeros(b, dtype=np.complex128)
+            acc = xp.zeros(b, dtype=complex128)
             for cp in self.chunks:
                 gc = cp.g1 - cp.g0
                 flips = self._flip_buffer(b, gc)
-                np.bitwise_xor(keys[:, None, :], cp.xy[None, :, :], out=flips)
+                xp.bitwise_xor(keys[:, None, :], cp.xy[None, :, :], out=flips)
                 idx = self._lookup_dedup(
                     table, flips.reshape(-1, self.n_words)
                 ).reshape(b, gc)
-                s_hit, g_hit = np.nonzero(idx >= 0)
+                s_hit, g_hit = xp.nonzero(idx >= 0)
                 if len(s_hit) == 0:
                     continue
                 sizes = cp.sizes[g_hit]                          # terms per pair
                 starts = cp.starts[g_hit]
                 total = int(sizes.sum())
-                term_idx = np.repeat(starts, sizes) + (
-                    np.arange(total) - np.repeat(np.cumsum(sizes) - sizes, sizes)
+                term_idx = xp.repeat(starts, sizes) + (
+                    xp.arange(total) - xp.repeat(xp.cumsum(sizes) - sizes, sizes)
                 )
-                pair_of_term = np.repeat(np.arange(len(s_hit)), sizes)
+                pair_of_term = xp.repeat(xp.arange(len(s_hit)), sizes)
                 par = self._fold_parity(
                     keys[s_hit[pair_of_term]], comp.yz_buf[term_idx]
                 )
                 signed = comp.coeffs_buf[term_idx] * (1.0 - 2.0 * par)
-                coef = np.bincount(pair_of_term, weights=signed, minlength=len(s_hit))
-                ratios = np.exp(table.log_amps[idx[s_hit, g_hit]] - la_x[s_hit])
+                coef = xp.bincount(pair_of_term, weights=signed, minlength=len(s_hit))
+                ratios = xp.exp(table.log_amps[idx[s_hit, g_hit]] - la_x[s_hit])
                 contrib = coef * ratios
-                acc += np.bincount(s_hit, weights=contrib.real, minlength=b) + 1j * np.bincount(
+                acc += xp.bincount(s_hit, weights=contrib.real, minlength=b) + 1j * xp.bincount(
                     s_hit, weights=contrib.imag, minlength=b
                 )
             eloc[s0:s1] += acc
@@ -742,7 +742,7 @@ def local_energy_planned(
     sample_chunk: int = 4096,
     memory_budget_bytes: int | None = None,
     plan: ElocPlan | None = None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Plan+dedup kernel with the shared batch-kernel signature.
 
     With ``plan=None`` a throwaway plan is compiled from the chunking knobs
@@ -769,7 +769,7 @@ def _vectorized_batch_kernel(
     sample_chunk: int = 4096,
     memory_budget_bytes: int | None = None,
     plan: ElocPlan | None = None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """``local_energy_vectorized`` behind the shared batch-kernel signature
     (the unplanned kernel accepts and ignores ``plan``)."""
     del plan
@@ -849,7 +849,7 @@ def local_energy(
     memory_budget_bytes: int | None = None,
     kernel: str = "vectorized",
     plan: ElocPlan | None = None,
-) -> tuple[np.ndarray, AmplitudeTable]:
+) -> tuple[xp.ndarray, AmplitudeTable]:
     """High-level entry point used by the VMC driver.
 
     ``mode='exact'`` extends the amplitude table with all coupled

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.core.wavefunction import NNQSWavefunction
 
 __all__ = ["SampleBatch", "autoregressive_sample", "batch_autoregressive_sample", "BASTreeState"]
@@ -90,6 +91,9 @@ def autoregressive_sample(wf: NNQSWavefunction, n_samples: int,
             probs = wf.probs_from_logits(logits, cu, cd, step)
         else:
             probs = wf.conditional_probs_reference(tokens, cu, cd)  # (B, vocab)
+        # The one planned device->host sync of the sampling loop: the host
+        # RNG consumes the conditional probabilities.
+        probs = active_backend().to_host(probs, tag="sampling.probs")
         u = rng.random((n_samples, 1))
         choice = (probs.cumsum(axis=1) < u).sum(axis=1)
         choice = np.minimum(choice, wf.vocab_size - 1)
@@ -171,6 +175,9 @@ def _bas_step(wf: NNQSWavefunction, state: BASTreeState,
         probs = wf.conditional_probs_reference(
             state.prefixes, state.counts_up, state.counts_dn
         )
+    # The one planned device->host sync per BAS step: the host RNG's
+    # multinomial split consumes the conditional probabilities.
+    probs = active_backend().to_host(probs, tag="sampling.probs")
     counts = _multinomial_rows(rng, state.weights, probs)  # (P, vocab)
     parent_idx, token = np.nonzero(counts)
     new_prefixes = np.concatenate(

@@ -71,6 +71,10 @@ class TrainConfig:
     # a ThreadBackend/ProcessBackend runs the same staged iteration over
     # N_p ranks with checkpoint/metrics/resume handled here as usual.
     backend: ExecutionBackend | None = None
+    # Array backend (repro.backend) the staged iteration allocates on: a
+    # registered name ('numpy', 'mock', 'torch', 'cupy'), an ArrayBackend
+    # instance, or None for the numpy default.
+    array_backend: object | None = None
     # Local-energy kernel chunking (see VMCConfig / ParallelSpec).
     group_chunk: int = 512
     sample_chunk: int = 4096
@@ -300,6 +304,7 @@ class Trainer:
                 eloc_kernel=cfg.eloc_kernel,
             ),
             backend=cfg.backend,
+            array_backend=cfg.array_backend,
         )
         self._log_file = None
 

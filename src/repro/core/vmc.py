@@ -76,8 +76,14 @@ class VMC:
     def __init__(self, wf: NNQSWavefunction,
                  hamiltonian: QubitHamiltonian | CompressedHamiltonian,
                  config: VMCConfig | None = None,
-                 backend: ExecutionBackend | None = None):
+                 backend: ExecutionBackend | None = None,
+                 array_backend=None):
+        from repro.backend import get_backend
+
         self.wf = wf
+        # The array backend every xp allocation of the staged iteration lands
+        # on (name, ArrayBackend instance, or None for the numpy default).
+        self.array_backend = get_backend(array_backend or "numpy")
         self.comp = (
             hamiltonian
             if isinstance(hamiltonian, CompressedHamiltonian)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.dtypes import bool_, int64
 from repro.hamiltonian.qubit_hamiltonian import QubitHamiltonian
 from repro.utils.bitstrings import lexsort_keys, popcount64
 
@@ -128,12 +129,12 @@ def compress_hamiltonian(h: QubitHamiltonian) -> CompressedHamiltonian:
 
     # Find group boundaries among the sorted XY masks.
     if len(xy_sorted) == 0:
-        new_group = np.zeros(0, dtype=bool)
+        new_group = np.zeros(0, dtype=bool_)
     else:
-        new_group = np.ones(len(xy_sorted), dtype=bool)
+        new_group = np.ones(len(xy_sorted), dtype=bool_)
         new_group[1:] = np.any(xy_sorted[1:] != xy_sorted[:-1], axis=1)
     starts = np.flatnonzero(new_group)
-    idxs = np.concatenate([starts, [len(xy_sorted)]]).astype(np.int64)
+    idxs = np.concatenate([starts, [len(xy_sorted)]]).astype(int64)
 
     return CompressedHamiltonian(
         n_qubits=h.n_qubits,

@@ -5,12 +5,20 @@ multi-head self-attention followed by a position-wise feed-forward layer, each
 wrapped in residual connections with layer normalization.  The causal mask is
 what makes the network autoregressive — the conditional for token i only sees
 tokens < i — which in turn is what enables batch autoregressive sampling.
+
+All array math goes through the active backend's ``xp`` namespace: the
+training forward builds an autograd graph over backend arrays, and the
+KV-cache ``step`` kernels allocate their masks and attention buffers via
+``xp`` so the incremental decode stays device-resident end to end.
 """
 from __future__ import annotations
 
-import numpy as np
+import math
 
 from repro.autograd import Tensor
+from repro.backend import xp
+from repro.backend.dtypes import bool_
+from repro.backend.host import host_np
 from repro.nn.inference import KVCache, gelu_np, layer_norm_np, linear_np, softmax_np
 from repro.nn.layers import LayerNorm, Linear
 from repro.nn.module import Module
@@ -21,7 +29,8 @@ __all__ = ["CausalSelfAttention", "FeedForward", "DecoderLayer"]
 class CausalSelfAttention(Module):
     """Multi-head self-attention with a causal (lower-triangular) mask."""
 
-    def __init__(self, d_model: int, n_heads: int, rng: np.random.Generator | None = None):
+    def __init__(self, d_model: int, n_heads: int,
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
         if d_model % n_heads != 0:
             raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
@@ -38,18 +47,18 @@ class CausalSelfAttention(Module):
         qkv = self.qkv(x)  # (b, t, 3d)
         qkv = qkv.reshape(b, t, 3, h, dh).transpose(2, 0, 3, 1, 4)  # (3, b, h, t, dh)
         q, k, v = qkv[0], qkv[1], qkv[2]
-        att = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(dh))  # (b, h, t, t)
-        causal = np.triu(np.ones((t, t), dtype=bool), k=1)
+        att = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(dh))  # (b, h, t, t)
+        causal = xp.triu(xp.ones((t, t), dtype=bool_), k=1)
         att = att.masked_fill(causal, -1e30)
         att = att.softmax(axis=-1)
         out = att @ v  # (b, h, t, dh)
         out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
         return self.proj(out)
 
-    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+    def step(self, x, cache: KVCache):
         """Incremental decode: attend ``t_new`` new positions against the cache.
 
-        ``x``: raw ``(batch, t_new, d_model)`` numpy activations.  The new
+        ``x``: raw ``(batch, t_new, d_model)`` backend activations.  The new
         keys/values are appended to ``cache``; queries attend to every cached
         position plus (causally) the other new positions, so a single call
         with ``t_new == k`` on an empty cache is a batched prefill while
@@ -59,19 +68,19 @@ class CausalSelfAttention(Module):
         h, dh = self.n_heads, self.d_head
         t0 = cache.length
         qkv = linear_np(x, self.qkv)
-        qkv = qkv.reshape(b, t_new, 3, h, dh).transpose(2, 0, 3, 1, 4)
+        qkv = xp.transpose(qkv.reshape(b, t_new, 3, h, dh), (2, 0, 3, 1, 4))
         q, k, v = qkv[0], qkv[1], qkv[2]
         cache.append(k, v)
-        att = (q @ np.swapaxes(cache.k, -1, -2)) * (1.0 / np.sqrt(dh))
+        att = (q @ xp.swapaxes(cache.k, -1, -2)) * (1.0 / math.sqrt(dh))
         if t_new > 1:
             # New position i (absolute t0+i) must not see absolute j > t0+i.
-            causal = np.triu(np.ones((t_new, t_new), dtype=bool), k=1)
-            mask = np.zeros((t_new, t0 + t_new), dtype=bool)
+            causal = xp.triu(xp.ones((t_new, t_new), dtype=bool_), k=1)
+            mask = xp.zeros((t_new, t0 + t_new), dtype=bool_)
             mask[:, t0:] = causal
-            att = np.where(mask, -1e30, att)
+            att = xp.where(mask, -1e30, att)
         att = softmax_np(att, axis=-1)
         out = att @ cache.v  # (b, h, t_new, dh)
-        out = out.transpose(0, 2, 1, 3).reshape(b, t_new, d)
+        out = xp.transpose(out, (0, 2, 1, 3)).reshape(b, t_new, d)
         return linear_np(out, self.proj)
 
 
@@ -79,7 +88,7 @@ class FeedForward(Module):
     """Position-wise feed-forward network (d_model -> 4 d_model -> d_model)."""
 
     def __init__(self, d_model: int, d_ff: int | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
         d_ff = d_ff or 4 * d_model
         self.fc1 = Linear(d_model, d_ff, rng=rng)
@@ -88,8 +97,8 @@ class FeedForward(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.fc2(self.fc1(x).gelu())
 
-    def step(self, x: np.ndarray) -> np.ndarray:
-        """Stateless numpy twin of ``forward`` for the inference sessions."""
+    def step(self, x):
+        """Stateless ``xp`` twin of ``forward`` for the inference sessions."""
         return linear_np(gelu_np(linear_np(x, self.fc1)), self.fc2)
 
 
@@ -97,7 +106,7 @@ class DecoderLayer(Module):
     """Pre-norm transformer decoder block: x + MHA(LN(x)), then x + FF(LN(x))."""
 
     def __init__(self, d_model: int, n_heads: int, d_ff: int | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
         self.ln1 = LayerNorm(d_model)
         self.attn = CausalSelfAttention(d_model, n_heads, rng=rng)
@@ -109,7 +118,7 @@ class DecoderLayer(Module):
         x = x + self.ff(self.ln2(x))
         return x
 
-    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+    def step(self, x, cache: KVCache):
         """Incremental decode of ``t_new`` new positions through the block."""
         x = x + self.attn.step(layer_norm_np(x, self.ln1), cache)
         x = x + self.ff.step(layer_norm_np(x, self.ln2))

@@ -26,14 +26,18 @@ Architecture (see DESIGN.md):
   full ``conditional_logits`` each step, which reproduces the pre-cache
   numerics bit for bit.
 
-Everything in this module is pure numpy on ``.data`` buffers — no autograd
-graph is ever built.  The differentiable full-forward path
-(``conditional_logits``) remains the training-time code path and the
-correctness oracle in the tests.
+Everything in this module is graph-free math on raw ``.data`` buffers,
+allocated through the active backend's ``xp`` namespace — the KV caches and
+step activations stay device-resident for the whole sweep.  The
+differentiable full-forward path (``conditional_logits``) remains the
+training-time code path and the correctness oracle in the tests.
 """
 from __future__ import annotations
 
-import numpy as np
+import math
+
+from repro.backend import xp
+from repro.backend.dtypes import int64
 
 __all__ = [
     "KVCache",
@@ -48,7 +52,7 @@ __all__ = [
 ]
 
 
-def padded_next_logits(model, prefix_tokens: np.ndarray) -> np.ndarray:
+def padded_next_logits(model, prefix_tokens):
     """Next-position logits via the full ``conditional_logits`` forward.
 
     The one place that knows the padding contract: fixed-width ansätze
@@ -58,47 +62,47 @@ def padded_next_logits(model, prefix_tokens: np.ndarray) -> np.ndarray:
     """
     from repro.autograd import no_grad
 
-    prefix_tokens = np.asarray(prefix_tokens, dtype=np.int64)
+    prefix_tokens = xp.asarray(prefix_tokens, dtype=int64)
     b, k = prefix_tokens.shape
     length = model.n_tokens if getattr(model, "fixed_length", False) else k + 1
-    padded = np.zeros((b, length), dtype=np.int64)
+    padded = xp.zeros((b, length), dtype=int64)
     padded[:, :k] = prefix_tokens
     with no_grad():
         return model.conditional_logits(padded).data[:, k, :]
 
 
 # --------------------------------------------------------------------------
-# Pure-numpy kernels, numerically identical to their autograd counterparts
+# Graph-free xp kernels, numerically identical to their autograd counterparts
 # (same operations in the same order as repro.autograd.tensor).
 # --------------------------------------------------------------------------
-def linear_np(x: np.ndarray, layer) -> np.ndarray:
-    """``y = x W^T + b`` on raw numpy buffers (mirrors ``Linear.forward``)."""
-    out = x @ layer.weight.data.T
+def linear_np(x, layer):
+    """``y = x W^T + b`` on raw buffers (mirrors ``Linear.forward``)."""
+    out = x @ xp.swapaxes(layer.weight.data, -1, -2)
     if layer.bias is not None:
         out = out + layer.bias.data
     return out
 
 
-def layer_norm_np(x: np.ndarray, layer) -> np.ndarray:
-    """LayerNorm on raw numpy buffers (mirrors ``LayerNorm.forward``)."""
-    mu = x.mean(axis=-1, keepdims=True)
+def layer_norm_np(x, layer):
+    """LayerNorm on raw buffers (mirrors ``LayerNorm.forward``)."""
+    mu = xp.mean(x, axis=-1, keepdims=True)
     centered = x - mu
-    var = (centered * centered).mean(axis=-1, keepdims=True)
+    var = xp.mean(centered * centered, axis=-1, keepdims=True)
     inv = (var + layer.eps) ** -0.5
     return centered * inv * layer.gamma.data + layer.beta.data
 
 
-def gelu_np(x: np.ndarray) -> np.ndarray:
+def gelu_np(x):
     """tanh-approximation GELU (mirrors ``Tensor.gelu``)."""
-    c = np.sqrt(2.0 / np.pi)
+    c = math.sqrt(2.0 / math.pi)
     inner = c * (x + 0.044715 * x**3)
-    return 0.5 * x * (1.0 + np.tanh(inner))
+    return 0.5 * x * (1.0 + xp.tanh(inner))
 
 
-def softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    m = x.max(axis=axis, keepdims=True)
-    e = np.exp(x - m)
-    return e / e.sum(axis=axis, keepdims=True)
+def softmax_np(x, axis: int = -1):
+    m = xp.max(x, axis=axis, keepdims=True)
+    e = xp.exp(x - m)
+    return e / xp.sum(e, axis=axis, keepdims=True)
 
 
 # --------------------------------------------------------------------------
@@ -109,13 +113,13 @@ class KVCache:
 
     ``t`` grows by one per decoding step (or by ``k`` on a prefill).  The
     batch axis is *row-aligned with the sampler's unique prefixes*: when the
-    BAS tree branches at ``np.nonzero(counts)``, :meth:`select` duplicates
-    the parent rows for every surviving child and drops pruned ones.
+    BAS tree branches, :meth:`select` duplicates the parent rows for every
+    surviving child and drops pruned ones.
     """
 
     __slots__ = ("k", "v")
 
-    def __init__(self, k: np.ndarray | None = None, v: np.ndarray | None = None):
+    def __init__(self, k=None, v=None):
         self.k = k  # None until the first append
         self.v = v
 
@@ -123,15 +127,15 @@ class KVCache:
     def length(self) -> int:
         return 0 if self.k is None else self.k.shape[2]
 
-    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+    def append(self, k_new, v_new) -> None:
         """Append ``(batch, heads, t_new, d_head)`` keys/values along time."""
         if self.k is None:
             self.k, self.v = k_new, v_new
         else:
-            self.k = np.concatenate([self.k, k_new], axis=2)
-            self.v = np.concatenate([self.v, v_new], axis=2)
+            self.k = xp.concatenate([self.k, k_new], axis=2)
+            self.v = xp.concatenate([self.v, v_new], axis=2)
 
-    def select(self, idx: np.ndarray) -> "KVCache":
+    def select(self, idx) -> "KVCache":
         """Gather cache rows: duplicates branching prefixes, drops pruned ones."""
         if self.k is None:
             return KVCache()
@@ -155,7 +159,7 @@ class TransformerInferenceSession:
         self.pos = 0
         self.caches = [KVCache() for _ in model.layers]
 
-    def step(self, prev_tokens: np.ndarray | None = None) -> np.ndarray:
+    def step(self, prev_tokens=None):
         """Consume one token per row, return ``(batch, vocab)`` next logits.
 
         ``prev_tokens`` is the token sampled at the previous position
@@ -163,7 +167,7 @@ class TransformerInferenceSession:
         """
         return self.model.step(prev_tokens, self)
 
-    def prefill(self, prefix_tokens: np.ndarray) -> np.ndarray:
+    def prefill(self, prefix_tokens):
         """Bootstrap the caches from a ``(batch, k)`` prefix in one pass.
 
         Returns the ``(batch, vocab)`` logits of position ``k``.  Only valid
@@ -171,7 +175,7 @@ class TransformerInferenceSession:
         """
         return self.model.prefill(prefix_tokens, self)
 
-    def select(self, idx: np.ndarray) -> "TransformerInferenceSession":
+    def select(self, idx) -> "TransformerInferenceSession":
         """Realign cache rows with branched/pruned prefixes (BAS tree split)."""
         out = TransformerInferenceSession.__new__(TransformerInferenceSession)
         out.model = self.model
@@ -187,8 +191,8 @@ class TransformerInferenceSession:
         out.batch_size = self.batch_size
         out.pos = self.pos
         out.caches = [
-            KVCache(None if c.k is None else c.k.copy(),
-                    None if c.v is None else c.v.copy())
+            KVCache(None if c.k is None else xp.array(c.k),
+                    None if c.v is None else xp.array(c.v))
             for c in self.caches
         ]
         return out
@@ -219,17 +223,17 @@ class FallbackInferenceSession:
     def __init__(self, model, batch_size: int = 1):
         self.model = model
         self.batch_size = batch_size
-        self.tokens = np.zeros((batch_size, 0), dtype=np.int64)
+        self.tokens = xp.zeros((batch_size, 0), dtype=int64)
         self._started = False
 
     @property
     def pos(self) -> int:
         return self.tokens.shape[1]
 
-    def _next_logits(self) -> np.ndarray:
+    def _next_logits(self):
         return padded_next_logits(self.model, self.tokens)
 
-    def step(self, prev_tokens: np.ndarray | None = None) -> np.ndarray:
+    def step(self, prev_tokens=None):
         # Same misuse contract as the transformer session: the first call
         # takes no token, every later call must consume one.
         if prev_tokens is None:
@@ -240,23 +244,23 @@ class FallbackInferenceSession:
                 raise ValueError(
                     "the first step consumes BOS: call step(None) or prefill()"
                 )
-            prev = np.asarray(prev_tokens, dtype=np.int64).reshape(-1, 1)
-            self.tokens = np.concatenate([self.tokens, prev], axis=1)
+            prev = xp.asarray(prev_tokens, dtype=int64).reshape(-1, 1)
+            self.tokens = xp.concatenate([self.tokens, prev], axis=1)
         self._started = True
         return self._next_logits()
 
-    def prefill(self, prefix_tokens: np.ndarray) -> np.ndarray:
+    def prefill(self, prefix_tokens):
         if self._started or self.tokens.shape[1] > 0:
             # Same misuse contract as the transformer session.
             raise ValueError("prefill requires a fresh session")
         self._started = True
-        prefix = np.asarray(prefix_tokens, dtype=np.int64)
+        prefix = xp.asarray(prefix_tokens, dtype=int64)
         if prefix.ndim == 1:
             prefix = prefix[None, :]
         self.tokens = prefix
         return self._next_logits()
 
-    def select(self, idx: np.ndarray) -> "FallbackInferenceSession":
+    def select(self, idx) -> "FallbackInferenceSession":
         out = FallbackInferenceSession.__new__(FallbackInferenceSession)
         out.model = self.model
         out.batch_size = len(idx)
@@ -268,7 +272,7 @@ class FallbackInferenceSession:
         out = FallbackInferenceSession.__new__(FallbackInferenceSession)
         out.model = self.model
         out.batch_size = self.batch_size
-        out.tokens = self.tokens.copy()
+        out.tokens = xp.array(self.tokens)
         out._started = self._started
         return out
 
@@ -276,7 +280,7 @@ class FallbackInferenceSession:
         """Return the session to its fresh state (serving-layer pool hook)."""
         if batch_size is not None:
             self.batch_size = batch_size
-        self.tokens = np.zeros((self.batch_size, 0), dtype=np.int64)
+        self.tokens = xp.zeros((self.batch_size, 0), dtype=int64)
         self._started = False
         return self
 

@@ -13,12 +13,19 @@ The NAQS-style MLP mimics Barrett et al.'s "MLP with hard-coded pre- and
 postprocessing to ensure the autoregressive property": one shared MLP is
 applied per position to the prefix (positions >= i zeroed out) concatenated
 with a one-hot position encoding.
+
+One-hot input staging and the constant autoregressive masks allocate through
+the active backend's ``xp`` namespace, so both baselines run on the same
+array seam as the transformer.
 """
 from __future__ import annotations
 
-import numpy as np
+import math
 
 from repro.autograd import Tensor, concat, stack
+from repro.backend import xp
+from repro.backend.dtypes import float64, int64
+from repro.backend.host import host_np
 from repro.nn.layers import Linear
 from repro.nn.module import Module, Parameter
 
@@ -26,13 +33,13 @@ __all__ = ["MADEAmplitude", "NAQSMLPAmplitude"]
 
 
 class _MaskedLinear(Module):
-    def __init__(self, in_features: int, out_features: int, mask: np.ndarray,
-                 rng: np.random.Generator):
+    def __init__(self, in_features: int, out_features: int, mask,
+                 rng: host_np.random.Generator):
         super().__init__()
-        bound = 1.0 / np.sqrt(in_features)
+        bound = 1.0 / math.sqrt(in_features)
         self.weight = Parameter(rng.uniform(-bound, bound, (out_features, in_features)))
         self.bias = Parameter(rng.uniform(-bound, bound, (out_features,)))
-        self.mask = mask.astype(np.float64)  # (out, in), constant
+        self.mask = xp.asarray(mask, dtype=float64)  # (out, in), constant
 
     def forward(self, x: Tensor) -> Tensor:
         w = self.weight * Tensor(self.mask)
@@ -53,34 +60,34 @@ class MADEAmplitude(Module):
 
     def __init__(self, n_tokens: int, vocab_size: int = 4,
                  hidden: tuple[int, ...] = (128, 128),
-                 rng: np.random.Generator | None = None):
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or host_np.random.default_rng()
         self.n_tokens = n_tokens
         self.vocab_size = vocab_size
         t, v = n_tokens, vocab_size
 
-        in_deg = np.repeat(np.arange(1, t + 1), v)  # one-hot blocks
+        in_deg = xp.repeat(xp.arange(1, t + 1), v)  # one-hot blocks
         prev_deg = in_deg
         layers = []
         for h in hidden:
-            deg = 1 + (np.arange(h) % max(t - 1, 1))
+            deg = 1 + (xp.arange(h) % max(t - 1, 1))
             mask = (deg[:, None] >= prev_deg[None, :])
             layers.append(_MaskedLinear(len(prev_deg), h, mask, rng))
             prev_deg = deg
-        out_deg = np.repeat(np.arange(1, t + 1), v)
+        out_deg = xp.repeat(xp.arange(1, t + 1), v)
         out_mask = (out_deg[:, None] > prev_deg[None, :])
         layers.append(_MaskedLinear(len(prev_deg), t * v, out_mask, rng))
         self.layers = layers
 
-    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
-        tokens = np.asarray(tokens, dtype=np.int64)
+    def conditional_logits(self, tokens) -> Tensor:
+        tokens = xp.asarray(tokens, dtype=int64)
         if tokens.ndim == 1:
             tokens = tokens[None, :]
         b, t = tokens.shape
-        onehot = np.zeros((b, t * self.vocab_size))
-        flat = tokens + np.arange(t) * self.vocab_size
-        onehot[np.arange(b)[:, None], flat] = 1.0
+        onehot = xp.zeros((b, t * self.vocab_size))
+        flat = tokens + xp.arange(t) * self.vocab_size
+        onehot[xp.arange(b)[:, None], flat] = 1.0
         x = Tensor(onehot)
         for layer in self.layers[:-1]:
             x = layer(x).relu()
@@ -95,30 +102,30 @@ class NAQSMLPAmplitude(Module):
 
     def __init__(self, n_tokens: int, vocab_size: int = 4,
                  hidden: tuple[int, ...] = (128,),
-                 rng: np.random.Generator | None = None):
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or host_np.random.default_rng()
         self.n_tokens = n_tokens
         self.vocab_size = vocab_size
         in_dim = n_tokens * vocab_size + n_tokens  # masked prefix + position one-hot
         sizes = (in_dim, *hidden, vocab_size)
         self.layers = [Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)]
 
-    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
-        tokens = np.asarray(tokens, dtype=np.int64)
+    def conditional_logits(self, tokens) -> Tensor:
+        tokens = xp.asarray(tokens, dtype=int64)
         if tokens.ndim == 1:
             tokens = tokens[None, :]
         b, t = tokens.shape
         v = self.vocab_size
-        onehot = np.zeros((b, t, v))
-        onehot[np.arange(b)[:, None], np.arange(t)[None, :], tokens] = 1.0
+        onehot = xp.zeros((b, t, v))
+        onehot[xp.arange(b)[:, None], xp.arange(t)[None, :], tokens] = 1.0
         outs = []
         for i in range(t):
-            prefix = np.zeros((b, t, v))
+            prefix = xp.zeros((b, t, v))
             prefix[:, :i] = onehot[:, :i]
-            pos = np.zeros((b, t))
+            pos = xp.zeros((b, t))
             pos[:, i] = 1.0
-            x = Tensor(np.concatenate([prefix.reshape(b, -1), pos], axis=1))
+            x = Tensor(xp.concatenate([prefix.reshape(b, -1), pos], axis=1))
             for layer in self.layers[:-1]:
                 x = layer(x).relu()
             outs.append(self.layers[-1](x))

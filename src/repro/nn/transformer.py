@@ -20,9 +20,10 @@ padding for positions ``>= prefix`` without corrupting earlier conditionals.
 """
 from __future__ import annotations
 
-import numpy as np
-
 from repro.autograd import Tensor
+from repro.backend import xp
+from repro.backend.dtypes import int64
+from repro.backend.host import host_np
 from repro.nn.attention import DecoderLayer
 from repro.nn.inference import TransformerInferenceSession, layer_norm_np, linear_np
 from repro.nn.layers import Embedding, LayerNorm, Linear, PositionalEmbedding
@@ -41,9 +42,9 @@ class TransformerAmplitude(Module):
 
     def __init__(self, n_tokens: int, vocab_size: int = 4, d_model: int = 16,
                  n_heads: int = 4, n_layers: int = 2, d_ff: int | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: host_np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or host_np.random.default_rng()
         self.n_tokens = n_tokens
         self.vocab_size = vocab_size
         self.d_model = d_model
@@ -54,15 +55,15 @@ class TransformerAmplitude(Module):
         self.ln_f = LayerNorm(d_model)
         self.head = Linear(d_model, vocab_size, rng=rng)
 
-    def conditional_logits(self, tokens: np.ndarray) -> Tensor:
+    def conditional_logits(self, tokens) -> Tensor:
         """(batch, T) int tokens -> (batch, T, vocab) logits, causally masked."""
-        tokens = np.asarray(tokens, dtype=np.int64)
+        tokens = xp.asarray(tokens, dtype=int64)
         if tokens.ndim == 1:
             tokens = tokens[None, :]
         b, t = tokens.shape
         # Shift right: position i attends to [BOS, x_1, ..., x_{i-1}].
-        shifted = np.concatenate(
-            [np.full((b, 1), self.bos, dtype=np.int64), tokens[:, : t - 1]], axis=1
+        shifted = xp.concatenate(
+            [xp.full((b, 1), self.bos, dtype=int64), tokens[:, : t - 1]], axis=1
         )
         x = self.tok_emb(shifted) + self.pos_emb(t)
         for layer in self.layers:
@@ -79,12 +80,11 @@ class TransformerAmplitude(Module):
         one float64 K and V array of ``length * d_model`` per layer and row."""
         return n_rows * len(self.layers) * 2 * length * self.d_model * 8
 
-    def _decode(self, inputs: np.ndarray,
-                session: TransformerInferenceSession) -> np.ndarray:
+    def _decode(self, inputs, session: TransformerInferenceSession):
         """Run ``(batch, t_new)`` *input* tokens through the cached stack.
 
         Inputs are already shifted (BOS first); returns the ``(batch, vocab)``
-        logits of the last new position.  Pure numpy, no autograd graph.
+        logits of the last new position.  Graph-free ``xp`` math only.
         """
         b, t_new = inputs.shape
         pos = session.pos
@@ -102,28 +102,26 @@ class TransformerAmplitude(Module):
         logits = linear_np(layer_norm_np(x[:, -1:, :], self.ln_f), self.head)
         return logits[:, 0, :]
 
-    def step(self, prev_tokens: np.ndarray | None,
-             session: TransformerInferenceSession) -> np.ndarray:
+    def step(self, prev_tokens, session: TransformerInferenceSession):
         """Consume one token per row; return next-position ``(batch, vocab)`` logits."""
         if prev_tokens is None:
             if session.pos != 0:
                 raise ValueError("prev_tokens required once the session has started")
-            inputs = np.full((session.batch_size, 1), self.bos, dtype=np.int64)
+            inputs = xp.full((session.batch_size, 1), self.bos, dtype=int64)
         else:
             if session.pos == 0:
                 raise ValueError(
                     "the first step consumes BOS: call step(None) or prefill()"
                 )
-            inputs = np.asarray(prev_tokens, dtype=np.int64).reshape(-1, 1)
+            inputs = xp.asarray(prev_tokens, dtype=int64).reshape(-1, 1)
         return self._decode(inputs, session)
 
-    def prefill(self, prefix_tokens: np.ndarray,
-                session: TransformerInferenceSession) -> np.ndarray:
+    def prefill(self, prefix_tokens, session: TransformerInferenceSession):
         """Build the session caches from a whole ``(batch, k)`` prefix at once."""
         if session.pos != 0:
             raise ValueError("prefill requires a fresh session")
-        prefix = np.asarray(prefix_tokens, dtype=np.int64)
+        prefix = xp.asarray(prefix_tokens, dtype=int64)
         if prefix.ndim == 1:
             prefix = prefix[None, :]
-        bos = np.full((len(prefix), 1), self.bos, dtype=np.int64)
-        return self._decode(np.concatenate([bos, prefix], axis=1), session)
+        bos = xp.full((len(prefix), 1), self.bos, dtype=int64)
+        return self._decode(xp.concatenate([bos, prefix], axis=1), session)

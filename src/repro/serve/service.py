@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import get_backend, use_backend
 from repro.core.local_energy import (
     AmplitudeTable,
     ElocPlan,
@@ -76,17 +77,22 @@ class ServeConfig:
     session_pool_size: int = 4       # idle sessions kept per version
     prefix_cache_entries: int = 8    # live decoding sessions per version
     table_max_entries: int = 500_000  # per-version amplitude-table cap
+    backend: str = "numpy"           # array backend evaluations run under
 
 
 class _LoadedModel:
     """One resident snapshot: wavefunction + its per-version reuse state."""
 
     __slots__ = ("version", "wf", "pool", "prefix_cache", "table",
-                 "table_overflows", "eloc_plan")
+                 "table_overflows", "eloc_plan", "backend")
 
     def __init__(self, version: int, wf: NNQSWavefunction, cfg: ServeConfig):
         self.version = version
         self.wf = wf
+        # Per-version array-backend placement: every evaluation of this
+        # snapshot (fused forwards, sampling, local energies) runs under
+        # this backend's xp namespace on the scheduler thread.
+        self.backend = get_backend(cfg.backend)
         self.pool = SessionPool(wf.amplitude, max_idle=cfg.session_pool_size)
         self.prefix_cache = PrefixSessionCache(
             self.pool, max_entries=cfg.prefix_cache_entries
@@ -286,16 +292,17 @@ class WavefunctionService:
         with self._state_lock:
             self._op_counts[op] = self._op_counts.get(op, 0) + len(payloads)
         model = self._model(version)
-        if op == "log_amps":
-            return self._run_fused(model.wf.log_amplitudes, payloads)
-        if op == "amps":
-            return self._run_fused(model.wf.amplitudes, payloads)
-        if op == "cond_probs":
-            return [self._run_cond_probs(model, p) for p in payloads]
-        if op == "sample":
-            return [self._run_sample(model, p) for p in payloads]
-        if op == "local_energy":
-            return [self._run_local_energy(model, p) for p in payloads]
+        with use_backend(model.backend):
+            if op == "log_amps":
+                return self._run_fused(model.wf.log_amplitudes, payloads)
+            if op == "amps":
+                return self._run_fused(model.wf.amplitudes, payloads)
+            if op == "cond_probs":
+                return [self._run_cond_probs(model, p) for p in payloads]
+            if op == "sample":
+                return [self._run_sample(model, p) for p in payloads]
+            if op == "local_energy":
+                return [self._run_local_energy(model, p) for p in payloads]
         raise RuntimeError(f"unknown op {op!r}")  # pragma: no cover
 
     @staticmethod

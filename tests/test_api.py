@@ -357,6 +357,11 @@ class TestArtifacts:
 
     def test_report_json_matches_report(self, completed):
         on_disk = json.loads(completed.report_path.read_text())
+        # The driver appends the array-backend section on top of the
+        # TrainReport payload; a numpy run records the name only (no
+        # transfer counters — numpy is not instrumented).
+        backend = on_disk.pop("backend")
+        assert backend == {"name": "numpy"}
         assert on_disk == completed.report.to_dict()
         assert on_disk["iterations"] == 4
 

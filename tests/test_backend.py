@@ -1,0 +1,304 @@
+"""The array-backend seam: registry, residency counters, bit-identity.
+
+Three layers of guarantees (DESIGN.md "Array backend"):
+
+1. the registry/context machinery (``get_backend`` / ``use_backend`` /
+   the ``xp`` proxy) resolves and scopes backends correctly;
+2. the instrumented mock backend is *bit-identical* to the numpy default
+   across sample / local-energy / backward for all three ansätze, while
+   its counters prove the residency contract — zero unplanned host
+   transfers inside the sampling loop, exactly one tagged transfer per
+   stage-2 and stage-6 collective per rank per iteration;
+3. the optional torch backend reproduces the numpy kernels to float64
+   round-off on the autograd/Tensor subset (skipped when torch is not
+   installed, as on the default CI image).
+
+The lint self-test pins the CI backend-purity gate's behavior.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.spec import BackendSpec, RunSpec, SpecError
+from repro.backend import (
+    BACKEND_NAMES,
+    UNTAGGED,
+    ArrayBackend,
+    active_backend,
+    counter_delta,
+    get_backend,
+    use_backend,
+    xp,
+)
+from repro.core import VMC, VMCConfig, build_qiankunnet
+
+ANSATZE = ["transformer", "made", "naqs-mlp"]
+
+
+def _fresh_vmc(problem, amplitude_type="transformer", array_backend="numpy",
+               seed=3, n_samples=600):
+    wf = build_qiankunnet(4, 1, 1, amplitude_type=amplitude_type, d_model=8,
+                          n_heads=2, n_layers=1, phase_hidden=(8,), seed=7)
+    cfg = VMCConfig(n_samples=n_samples, eloc_mode="exact", warmup=50,
+                    seed=seed)
+    return VMC(wf, problem.hamiltonian, cfg, array_backend=array_backend)
+
+
+# ----------------------------------------------------------------- registry
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("numpy", "mock", "torch", "cupy")
+
+    def test_numpy_default_and_cached(self):
+        b = get_backend("numpy")
+        assert b.name == "numpy"
+        assert b.xp is np
+        assert not b.device_resident
+        assert get_backend("numpy") is b
+
+    def test_instance_passthrough(self):
+        b = get_backend("mock")
+        assert get_backend(b) is b
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend("tpu")
+
+    def test_mock_is_device_resident(self):
+        assert get_backend("mock").device_resident
+
+    def test_active_backend_defaults_to_numpy(self):
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_scopes_and_nests(self):
+        mock = get_backend("mock")
+        with use_backend(mock):
+            assert active_backend() is mock
+            with use_backend("numpy"):
+                assert active_backend().name == "numpy"
+            assert active_backend() is mock
+        assert active_backend().name == "numpy"
+
+    def test_xp_proxy_follows_active_backend(self):
+        host = xp.zeros(3)
+        assert isinstance(host, np.ndarray)
+        with use_backend("mock"):
+            before = active_backend().counter_snapshot()
+            xp.zeros(3)
+            after = active_backend().counter_snapshot()
+        assert counter_delta(before, after)["alloc"] == 1
+
+    def test_numpy_backend_has_no_counters(self):
+        assert get_backend("numpy").counter_snapshot() is None
+        assert counter_delta(None, None) is None
+
+
+# ----------------------------------------------------------- mock counters
+class TestMockCounters:
+    def test_tagged_and_untagged_to_host(self):
+        mock = get_backend("mock")
+        mock.reset_counters()
+        a = np.arange(4.0)
+        before = mock.counter_snapshot()
+        mock.to_host(a, tag="stage2.amps")
+        mock.to_host(a, tag="stage2.amps")
+        mock.to_host(a)  # unplanned
+        delta = counter_delta(before, mock.counter_snapshot())
+        assert delta["to_host"] == {"stage2.amps": 2, UNTAGGED: 1}
+
+    def test_to_host_is_identity(self):
+        a = np.arange(4.0)
+        assert get_backend("mock").to_host(a) is a
+
+    def test_from_host_counted(self):
+        mock = get_backend("mock")
+        before = mock.counter_snapshot()
+        mock.from_host(np.arange(3.0))
+        delta = counter_delta(before, mock.counter_snapshot())
+        assert delta["from_host"] == 1
+
+    def test_counter_delta_of_identical_snapshots_is_empty(self):
+        # Scalar counters diff to zero; per-tag dicts drop untouched tags.
+        mock = get_backend("mock")
+        snap = mock.counter_snapshot()
+        assert counter_delta(snap, snap) == {
+            "alloc": 0, "from_host": 0, "to_host": {},
+        }
+
+
+# ---------------------------------------------------------------- spec tier
+class TestBackendSpec:
+    def test_defaults(self):
+        spec = BackendSpec()
+        assert spec.name == "numpy"
+        assert spec.device is None
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(SpecError, match="backend.name"):
+            BackendSpec(name="tpu")
+
+    def test_runspec_roundtrip(self):
+        spec = RunSpec.from_dict({"backend": {"name": "mock"}})
+        assert spec.backend.name == "mock"
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_set_override(self):
+        spec = RunSpec().with_overrides(["backend.name=mock"])
+        assert spec.backend.name == "mock"
+
+    def test_serve_backend_validated(self):
+        with pytest.raises(SpecError, match="serve.backend"):
+            RunSpec.from_dict({"serve": {"backend": "tpu"}})
+
+
+# ----------------------------------------------- mock vs numpy bit-identity
+class TestMockBitIdentity:
+    """The mock backend must be invisible to the numbers: every ansatz's
+    sample / E_loc / Eq. 7 backward trajectory matches numpy bitwise."""
+
+    @pytest.mark.parametrize("amplitude_type", ANSATZE)
+    def test_vmc_trajectory_bitwise(self, h2_problem, amplitude_type):
+        ref = _fresh_vmc(h2_problem, amplitude_type, array_backend="numpy")
+        mock = _fresh_vmc(h2_problem, amplitude_type, array_backend="mock")
+        for _ in range(3):
+            a, b = ref.step(), mock.step()
+            assert a.energy == b.energy
+            assert a.variance == b.variance
+            assert a.eloc_imag == b.eloc_imag
+            assert a.n_unique == b.n_unique
+            np.testing.assert_array_equal(
+                ref.wf.get_flat_params(), mock.wf.get_flat_params()
+            )
+        assert all(s.transfers is None for s in ref.history)
+        assert all(s.transfers is not None for s in mock.history)
+
+    def test_transfer_contract(self, h2_problem):
+        """Zero unplanned host transfers while sampling; exactly one tagged
+        stage-2 and stage-6 transfer per rank per iteration."""
+        vmc = _fresh_vmc(h2_problem, array_backend="mock")
+        for _ in range(2):
+            stats = vmc.step()
+            sampling = stats.transfers["sampling"]
+            unplanned = {t: n for t, n in sampling.get("to_host", {}).items()
+                         if t != "sampling.probs"}
+            assert unplanned == {}, f"unplanned sampling transfers: {unplanned}"
+            post = stats.transfers["post_sampling"]["to_host"]
+            assert post["stage2.amps"] == 1
+            assert post["stage6.grad"] == 1
+
+
+# ------------------------------------------------------------ lint self-test
+class TestBackendLint:
+    @pytest.fixture()
+    def lint_file(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "tools" / "lint_backend.py"
+        spec = importlib.util.spec_from_file_location("lint_backend", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.lint_file
+
+    def test_flags_bare_numpy_and_np_dot(self, lint_file, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "x = np.zeros(3)\n"
+            "# a comment mentioning numpy is fine\n"
+            "s = 'np. in a string is fine'\n"
+        )
+        errors = lint_file(bad)
+        assert len(errors) == 2  # the 'numpy' import and the 'np.' call
+        assert any(":1:" in e for e in errors)
+        assert any(":2:" in e for e in errors)
+
+    def test_allows_host_np_and_numpy_method(self, lint_file, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "from repro.backend.host import host_np\n"
+            "x = host_np.zeros(3)\n"
+            "def numpy(self):\n"
+            "    return self.data\n"
+            "y = x.numpy if hasattr(x, 'numpy') else x\n"
+        )
+        assert lint_file(ok) == []
+
+    def test_hot_path_files_are_clean(self, lint_file):
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        spec = importlib.util.spec_from_file_location(
+            "lint_backend", root / "tools" / "lint_backend.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        for rel in mod.HOT_PATH_FILES:
+            assert mod.lint_file(root / rel) == [], rel
+
+
+# ------------------------------------------------------------- torch subset
+def _torch_available() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("torch") is not None
+
+
+@pytest.mark.skipif(not _torch_available(),
+                    reason="torch backend is optional (CPU wheel job only)")
+class TestTorchKernels:
+    """Kernel-equivalence subset: the autograd Tensor graph under the torch
+    adapter reproduces numpy to float64 round-off.  The eloc/engine tiers
+    stay numpy/mock (structured record dtypes are host-only by design)."""
+
+    TOL = 1e-10
+
+    def _backend(self):
+        return get_backend("torch", device="cpu")
+
+    def test_tensor_forward_backward_matches_numpy(self):
+        from repro.autograd.tensor import Tensor
+
+        rng = np.random.default_rng(0)
+        a0 = rng.normal(size=(5, 3))
+        b0 = rng.normal(size=(3, 4))
+
+        def run():
+            a = Tensor(xp.asarray(a0), requires_grad=True)
+            b = Tensor(xp.asarray(b0), requires_grad=True)
+            out = ((a @ b).gelu().softmax(axis=-1) * 2.0).sum()
+            out.backward()
+            be = active_backend()
+            return (be.to_host(out.data), be.to_host(a.grad),
+                    be.to_host(b.grad))
+
+        ref = run()
+        with use_backend(self._backend()):
+            got = run()
+        for r, g in zip(ref, got):
+            np.testing.assert_allclose(np.asarray(g), r, atol=self.TOL,
+                                       rtol=self.TOL)
+
+    def test_layer_norm_and_attention_ops(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.normal(size=(4, 6))
+
+        def run():
+            x = xp.asarray(x0)
+            mask = xp.triu(xp.ones((4, 4)), k=1)
+            scores = x @ xp.transpose(x) - 1e9 * mask
+            e = xp.exp(scores - xp.max(scores, axis=-1, keepdims=True))
+            attn = e / xp.sum(e, axis=-1, keepdims=True)
+            normed = (x - xp.mean(x, axis=-1, keepdims=True))
+            return active_backend().to_host(attn @ normed)
+
+        ref = run()
+        with use_backend(self._backend()):
+            got = np.asarray(run())
+        np.testing.assert_allclose(got, ref, atol=self.TOL, rtol=self.TOL)
+
+    def test_host_bound_namespace_gap_raises(self):
+        be = self._backend()
+        with pytest.raises(AttributeError, match="host-bound"):
+            be.xp.busday_count

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Backend-purity lint: no bare numpy in the hot-path modules.
+
+The array-backend seam (``repro.backend``, see DESIGN.md "Array backend")
+only works if the kernels under it allocate through the active backend's
+``xp`` namespace.  A stray ``import numpy`` or ``np.`` call in a hot-path
+module silently pins that kernel to the host and defeats both the mock
+backend's transfer accounting and any device backend.  This lint fails CI
+on exactly that.
+
+Rules, applied to the modules in ``HOT_PATH_FILES`` only:
+
+* a NAME token ``numpy`` anywhere (imports included) is an error;
+* a NAME token ``np`` immediately followed by a ``.`` operator is an error.
+
+Deliberately host-bound code escapes through ``repro.backend.host``'s
+``host_np`` alias — a distinct NAME, so it passes.  Comments, docstrings
+and string literals are token types the lint never looks at, so prose may
+mention numpy freely.
+
+Usage: ``python tools/lint_backend.py`` (from the repo root; exits nonzero
+with ``file:line:col`` messages on violations).
+"""
+from __future__ import annotations
+
+import sys
+import tokenize
+from pathlib import Path
+
+# The hot-path set: every module whose kernels must run entirely on the
+# active array backend.  Extend this list when a new module joins the
+# sampling/eloc/backward path.
+HOT_PATH_FILES = [
+    "src/repro/autograd/tensor.py",
+    "src/repro/nn/attention.py",
+    "src/repro/nn/transformer.py",
+    "src/repro/nn/made.py",
+    "src/repro/nn/layers.py",
+    "src/repro/nn/inference.py",
+    "src/repro/core/local_energy.py",
+    "src/repro/core/engine.py",
+]
+
+
+def lint_file(path: Path) -> list[str]:
+    """``file:line:col: message`` strings for every bare-numpy token."""
+    errors: list[str] = []
+    with tokenize.open(path) as handle:
+        tokens = list(tokenize.generate_tokens(handle.readline))
+    for i, tok in enumerate(tokens):
+        if tok.type != tokenize.NAME:
+            continue
+        row, col = tok.start
+        if tok.string == "numpy":
+            # `def numpy(self)` / `t.numpy()` are the Tensor escape-hatch
+            # method, not the module — only the module reference is banned.
+            prev = next(
+                (t for t in reversed(tokens[:i])
+                 if t.type not in (tokenize.NL, tokenize.NEWLINE,
+                                   tokenize.COMMENT, tokenize.INDENT,
+                                   tokenize.DEDENT)), None,
+            )
+            if prev is not None and (
+                (prev.type == tokenize.NAME and prev.string == "def")
+                or (prev.type == tokenize.OP and prev.string == ".")
+            ):
+                continue
+            errors.append(
+                f"{path}:{row}:{col}: bare 'numpy' in a hot-path module "
+                "(use 'from repro.backend import xp', or "
+                "'from repro.backend.host import host_np' for deliberately "
+                "host-bound code)"
+            )
+        elif tok.string == "np":
+            nxt = next(
+                (t for t in tokens[i + 1:]
+                 if t.type not in (tokenize.NL, tokenize.COMMENT)), None,
+            )
+            if nxt is not None and nxt.type == tokenize.OP and nxt.string == ".":
+                errors.append(
+                    f"{path}:{row}:{col}: bare 'np.' in a hot-path module "
+                    "(use the backend 'xp' namespace, or 'host_np' for "
+                    "deliberately host-bound code)"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    missing = [f for f in HOT_PATH_FILES if not (root / f).exists()]
+    if missing:
+        print(f"lint_backend: missing hot-path files: {missing}",
+              file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for rel in HOT_PATH_FILES:
+        errors.extend(lint_file(root / rel))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"lint_backend: {len(errors)} violation(s) in "
+              f"{len(HOT_PATH_FILES)} hot-path files", file=sys.stderr)
+        return 1
+    print(f"lint_backend: OK ({len(HOT_PATH_FILES)} hot-path files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
